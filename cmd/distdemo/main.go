@@ -1,0 +1,115 @@
+// Command distdemo deploys matrix tracking protocol P2 for real: a
+// coordinator TCP server plus m site processes-worth of goroutines dialing
+// in over loopback, streaming a synthetic low-rank dataset concurrently,
+// then comparing the coordinator's approximation against the exact
+// covariance.
+//
+// Usage:
+//
+//	distdemo [-sites M] [-eps E] [-n N] [-addr HOST:PORT]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	distmat "repro"
+	"repro/internal/matrix"
+	"repro/internal/node"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("distdemo: ")
+	var (
+		m    = flag.Int("sites", 8, "number of sites")
+		eps  = flag.Float64("eps", 0.1, "error parameter ε")
+		n    = flag.Int("n", 20_000, "rows to stream")
+		addr = flag.String("addr", "127.0.0.1:0", "coordinator listen address")
+	)
+	flag.Parse()
+
+	cfg := distmat.PAMAPLike(*n)
+	rows := distmat.LowRankMatrix(cfg)
+	d := cfg.D
+
+	// Coordinator process: TCP server + protocol logic.
+	srv, err := distmat.NewCoordinatorServer(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord, err := node.NewMatCoordinator(*m, *eps, d, srv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.SetHandler(coord)
+	go func() {
+		if err := srv.Serve(); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+	fmt.Printf("coordinator listening on %s\n", srv.Addr())
+
+	// Site processes: each dials the coordinator and streams its shard.
+	perSite := make([][][]float64, *m)
+	for i, r := range rows {
+		perSite[i%*m] = append(perSite[i%*m], r)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	clients := make([]*distmat.SiteClient, *m)
+	for id := 0; id < *m; id++ {
+		var cli *distmat.SiteClient
+		site, err := node.NewMatSite(id, *m, *eps, d, node.SenderFunc(func(msg node.Message) error {
+			return cli.Send(msg)
+		}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cli, err = distmat.DialSite(srv.Addr(), id, site)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clients[id] = cli
+		wg.Add(1)
+		go func(id int, site *node.MatSite) {
+			defer wg.Done()
+			for _, r := range perSite[id] {
+				if err := site.HandleRow(r); err != nil {
+					log.Printf("site %d: %v", id, err)
+					return
+				}
+			}
+		}(id, site)
+	}
+	wg.Wait()
+
+	// Let in-flight TCP frames drain, then evaluate.
+	time.Sleep(200 * time.Millisecond)
+	elapsed := time.Since(start)
+
+	exact := matrix.NewSym(d)
+	for _, r := range rows {
+		exact.AddOuter(1, r)
+	}
+	covErr, err := distmat.CovarianceError(exact, coord.Gram())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("streamed      %d rows (d=%d) from %d TCP sites in %v\n", len(rows), d, *m, elapsed.Round(time.Millisecond))
+	fmt.Printf("cov error     %.4g (guarantee ε=%g)\n", covErr, *eps)
+	fmt.Printf("coordinator   received %d messages, issued %d broadcasts\n",
+		coord.Received(), coord.Broadcasts())
+	fmt.Printf("vs naive      %d row transfers avoided (%.1fx saving)\n",
+		int64(len(rows))-coord.Received(), float64(len(rows))/float64(coord.Received()))
+
+	for _, c := range clients {
+		c.Close()
+	}
+	srv.Close()
+}

@@ -1,0 +1,97 @@
+// Command experiments regenerates the paper's evaluation: every figure and
+// table from Section 6 and the appendix's P4 study, printed as plain-text
+// tables.
+//
+// Usage:
+//
+//	experiments [-quick] [-only fig1,table1,fig2,...] [-hh-n N] [-mat-n N]
+//	            [-sites M] [-seed S] [-v]
+//
+// With no flags it runs the full default-scale suite (a few minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "run at test scale (seconds instead of minutes)")
+		only    = flag.String("only", "", "comma-separated subset: fig1,table1,fig2,fig3,fig4,fig6,fig7")
+		hhN     = flag.Int("hh-n", 0, "override heavy-hitters stream length (paper: 10000000)")
+		matN    = flag.Int("mat-n", 0, "override matrix stream rows (paper: 629250/300000)")
+		sites   = flag.Int("sites", 0, "override default site count m (paper: 50)")
+		seed    = flag.Int64("seed", 0, "override random seed")
+		verbose = flag.Bool("v", false, "log per-run progress to stderr")
+		plots   = flag.Bool("plot", false, "also render sweep tables as ASCII log-log charts")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *hhN > 0 {
+		cfg.HHItems = *hhN
+	}
+	if *matN > 0 {
+		cfg.MatRows = *matN
+	}
+	if *sites > 0 {
+		cfg.Sites = *sites
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+
+	r := experiments.NewRunner(cfg)
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			wanted[strings.ToLower(strings.TrimSpace(k))] = true
+		}
+	}
+	run := func(key string, f func() []experiments.Table) {
+		if len(wanted) > 0 && !wanted[key] {
+			return
+		}
+		for _, t := range f() {
+			t.Render(os.Stdout)
+			if *plots && t.Chartable {
+				if c, err := t.Chart(); err == nil {
+					if err := c.Render(os.Stdout); err != nil {
+						fmt.Fprintf(os.Stderr, "experiments: chart %s: %v\n", t.ID, err)
+					}
+					fmt.Println()
+				}
+			}
+		}
+	}
+
+	run("fig1", r.Fig1)
+	run("table1", func() []experiments.Table { return []experiments.Table{r.Table1()} })
+	run("fig2", r.Fig2)
+	run("fig3", r.Fig3)
+	run("fig4", r.Fig4)
+	run("fig6", r.Fig6)
+	run("fig7", r.Fig7)
+	run("stability", r.Stability)
+
+	if len(wanted) > 0 {
+		known := map[string]bool{"fig1": true, "table1": true, "fig2": true, "fig3": true, "fig4": true, "fig6": true, "fig7": true, "stability": true}
+		for k := range wanted {
+			if !known[k] {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", k)
+				os.Exit(2)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command hhtrack runs one distributed weighted heavy-hitters protocol over
+// a Zipfian stream and reports accuracy and communication, for interactive
+// exploration of the protocol trade-offs.
+//
+// Usage:
+//
+//	hhtrack [-proto P1|P2|P3|P4] [-n N] [-sites M] [-eps E] [-phi PHI]
+//	        [-beta B] [-skew S] [-seed SEED]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	distmat "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hhtrack: ")
+	var (
+		proto = flag.String("proto", "P2", "protocol: P1, P2, P3 or P4")
+		n     = flag.Int("n", 1_000_000, "stream length")
+		m     = flag.Int("sites", 50, "number of sites")
+		eps   = flag.Float64("eps", 0.01, "error parameter ε")
+		phi   = flag.Float64("phi", 0.05, "heavy-hitter threshold φ")
+		beta  = flag.Float64("beta", 1000, "weight upper bound β")
+		skew  = flag.Float64("skew", 2.0, "Zipf skew")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := distmat.DefaultZipfConfig(*n)
+	cfg.Beta = *beta
+	cfg.Skew = *skew
+	cfg.Seed = *seed
+	items := distmat.ZipfStream(cfg)
+
+	var p distmat.HHProtocol
+	switch *proto {
+	case "P1":
+		p = distmat.NewHHP1(*m, *eps)
+	case "P2":
+		p = distmat.NewHHP2(*m, *eps)
+	case "P3":
+		p = distmat.NewHHP3(*m, *eps, *seed+1)
+	case "P4":
+		p = distmat.NewHHP4(*m, *eps, *seed+1)
+	default:
+		log.Printf("unknown protocol %q (want P1, P2, P3 or P4)", *proto)
+		os.Exit(2)
+	}
+
+	exact := distmat.NewHHExact(*m)
+	distmat.RunHH(exact, items, distmat.NewUniformRandom(*m, *seed+2))
+	distmat.RunHH(p, items, distmat.NewUniformRandom(*m, *seed+2))
+
+	truth := exact.TrueHeavyHitters(*phi)
+	returned := distmat.HeavyHitters(p, *phi)
+	res := distmat.EvaluateHH(returned, truth, p.Estimate)
+
+	fmt.Printf("protocol       %s (ε=%g, m=%d)\n", p.Name(), *eps, *m)
+	fmt.Printf("stream         N=%d Zipf(skew=%g) weights Unif[1,%g] W=%.6g\n",
+		len(items), *skew, *beta, exact.EstimateTotal())
+	fmt.Printf("true %g-HHs    %d\n", *phi, len(truth))
+	fmt.Printf("returned       %d\n", len(returned))
+	fmt.Printf("recall         %.4f\n", res.Recall)
+	fmt.Printf("precision      %.4f\n", res.Precision)
+	fmt.Printf("avg rel err    %.3g\n", res.AvgRelErr)
+	fmt.Printf("messages       %d (naive baseline: %d)\n", p.Stats().Total(), len(items))
+	fmt.Printf("detail         %s\n", p.Stats())
+
+	fmt.Println("\ntop heavy hitters (estimate vs exact):")
+	for i, e := range returned {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %8d  est=%12.1f  exact=%12.1f\n", e.Elem, e.Weight, exact.Estimate(e.Elem))
+	}
+}

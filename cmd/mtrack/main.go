@@ -1,0 +1,107 @@
+// Command mtrack runs one distributed matrix tracking protocol over a
+// synthetic (or CSV-loaded) row stream and reports the covariance error and
+// communication cost.
+//
+// Usage:
+//
+//	mtrack [-proto P1|P2|P3|P3wr|P4|FD|SVD] [-data lowrank|highrank|CSV-path]
+//	       [-n N] [-sites M] [-eps E] [-k K] [-seed SEED]
+//
+// With -data pointing at a CSV file the real PAMAP/MSD datasets can be used
+// when available; otherwise the documented synthetic substitutes run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	distmat "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mtrack: ")
+	var (
+		proto = flag.String("proto", "P2", "protocol: P1, P2, P3, P3wr, P4, FD or SVD")
+		data  = flag.String("data", "lowrank", "dataset: lowrank, highrank, or a CSV file path")
+		n     = flag.Int("n", 50_000, "row count for synthetic data")
+		m     = flag.Int("sites", 50, "number of sites")
+		eps   = flag.Float64("eps", 0.1, "error parameter ε")
+		k     = flag.Int("k", 30, "rank for the FD/SVD baselines")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var rows [][]float64
+	switch *data {
+	case "lowrank":
+		cfg := distmat.PAMAPLike(*n)
+		cfg.Seed = *seed
+		rows = distmat.LowRankMatrix(cfg)
+	case "highrank":
+		cfg := distmat.MSDLike(*n)
+		cfg.Seed = *seed
+		rows = distmat.HighRankMatrix(cfg)
+	default:
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatalf("open dataset: %v", err)
+		}
+		var skipped int
+		rows, skipped, err = gen.ReadCSVMatrix(f, true, nil)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse dataset: %v", err)
+		}
+		if skipped > 0 {
+			log.Printf("skipped %d malformed rows", skipped)
+		}
+		if *n > 0 && *n < len(rows) {
+			rows = rows[:*n]
+		}
+	}
+	if len(rows) == 0 {
+		log.Fatal("empty dataset")
+	}
+	d := len(rows[0])
+
+	var tr distmat.MatrixTracker
+	switch *proto {
+	case "P1":
+		tr = distmat.NewMatrixP1(*m, *eps, d)
+	case "P2":
+		tr = distmat.NewMatrixP2(*m, *eps, d)
+	case "P3":
+		tr = distmat.NewMatrixP3(*m, *eps, d, *seed+1)
+	case "P3wr":
+		tr = distmat.NewMatrixP3WR(*m, *eps, d, *seed+1)
+	case "P4":
+		tr = distmat.NewMatrixP4(*m, *eps, d, *seed+1)
+	case "FD":
+		tr = distmat.NewFDBaseline(*m, *k, d)
+	case "SVD":
+		tr = distmat.NewSVDBaseline(*m, d)
+	default:
+		log.Printf("unknown protocol %q", *proto)
+		os.Exit(2)
+	}
+
+	exact := distmat.RunMatrix(tr, rows, distmat.NewUniformRandom(*m, *seed+2))
+	covErr, err := distmat.CovarianceError(exact, tr.Gram())
+	if err != nil {
+		log.Fatalf("error metric: %v", err)
+	}
+
+	fmt.Printf("protocol    %s (ε=%g, m=%d)\n", tr.Name(), *eps, *m)
+	fmt.Printf("stream      N=%d rows, d=%d, ‖A‖²_F=%.6g\n", len(rows), d, exact.Trace())
+	fmt.Printf("cov err     %.6g   (‖AᵀA−BᵀB‖₂/‖A‖²_F; guarantee ε=%g)\n", covErr, *eps)
+	fmt.Printf("messages    %d (naive baseline: %d)\n", tr.Stats().Total(), len(rows))
+	fmt.Printf("detail      %s\n", tr.Stats())
+
+	if optimal, err := distmat.RankKError(exact, *k); err == nil {
+		fmt.Printf("rank-%d opt %.6g   (offline SVD quality bar)\n", *k, optimal)
+	}
+}

@@ -1,0 +1,124 @@
+package distmat_test
+
+import (
+	"math"
+	"testing"
+
+	distmat "repro"
+)
+
+// TestEndToEndMatrix exercises the public API exactly as the README's quick
+// start does: build a tracker, stream rows, compare against the exact Gram.
+func TestEndToEndMatrix(t *testing.T) {
+	const m, eps, d = 6, 0.2, 44
+	rows := distmat.LowRankMatrix(distmat.PAMAPLike(2500))
+
+	tr := distmat.NewMatrixP2(m, eps, d)
+	exact := distmat.RunMatrix(tr, rows, distmat.NewUniformRandom(m, 1))
+
+	errVal, err := distmat.CovarianceError(exact, tr.Gram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errVal > eps {
+		t.Fatalf("covariance error %v exceeds ε=%v", errVal, eps)
+	}
+	if tr.Stats().Total() == 0 || tr.Stats().Total() >= int64(len(rows)) {
+		t.Fatalf("message count %d implausible for N=%d", tr.Stats().Total(), len(rows))
+	}
+}
+
+func TestEndToEndHeavyHitters(t *testing.T) {
+	const m, eps, phi = 6, 0.01, 0.05
+	items := distmat.ZipfStream(distmat.DefaultZipfConfig(50000))
+
+	exact := distmat.NewHHExact(m)
+	distmat.RunHH(exact, items, distmat.NewUniformRandom(m, 2))
+	truth := exact.TrueHeavyHitters(phi)
+
+	p := distmat.NewHHP2(m, eps)
+	distmat.RunHH(p, items, distmat.NewUniformRandom(m, 2))
+	got := distmat.HeavyHitters(p, phi)
+
+	res := distmat.EvaluateHH(got, truth, p.Estimate)
+	if res.Recall < 1 {
+		t.Fatalf("recall %v < 1", res.Recall)
+	}
+	if res.AvgRelErr > eps/phi {
+		t.Fatalf("avg relative error %v too large", res.AvgRelErr)
+	}
+}
+
+func TestAllMatrixConstructors(t *testing.T) {
+	const m, eps, d = 3, 0.3, 10
+	rows := distmat.HighRankMatrix(distmat.MatrixConfig{N: 400, D: d, Beta: 100, Seed: 5})
+	trackers := []distmat.MatrixTracker{
+		distmat.NewMatrixP1(m, eps, d),
+		distmat.NewMatrixP2(m, eps, d),
+		distmat.NewMatrixP3(m, eps, d, 3),
+		distmat.NewMatrixP3WR(m, eps, d, 4),
+		distmat.NewMatrixP4(m, eps, d, 5),
+		distmat.NewFDBaseline(m, 5, d),
+		distmat.NewSVDBaseline(m, d),
+	}
+	for _, tr := range trackers {
+		exact := distmat.RunMatrix(tr, rows, distmat.NewRoundRobin(m))
+		if g := tr.Gram(); g.Dim() != d {
+			t.Fatalf("%s Gram dim %d", tr.Name(), g.Dim())
+		}
+		if exact.Trace() <= 0 {
+			t.Fatal("exact Gram empty")
+		}
+	}
+}
+
+func TestAllHHConstructors(t *testing.T) {
+	const m, eps = 3, 0.1
+	items := distmat.ZipfStream(distmat.DefaultZipfConfig(2000))
+	protos := []distmat.HHProtocol{
+		distmat.NewHHP1(m, eps),
+		distmat.NewHHP2(m, eps),
+		distmat.NewHHP3(m, eps, 6),
+		distmat.NewHHP4(m, eps, 7),
+	}
+	for _, p := range protos {
+		distmat.RunHH(p, items, distmat.NewRoundRobin(m))
+		if p.EstimateTotal() <= 0 {
+			t.Fatalf("%s total estimate %v", p.Name(), p.EstimateTotal())
+		}
+	}
+}
+
+func TestStandaloneSketches(t *testing.T) {
+	fd := distmat.NewFrequentDirections(5, 8)
+	mg := distmat.NewMisraGries(4)
+	ss := distmat.NewSpaceSaving(4)
+	rows := distmat.HighRankMatrix(distmat.MatrixConfig{N: 100, D: 8, Beta: 50, Seed: 9})
+	for i, r := range rows {
+		fd.Append(r)
+		mg.Update(uint64(i%10), 1+float64(i%3))
+		ss.Update(uint64(i%10), 1+float64(i%3))
+	}
+	if fd.Total() <= 0 || fd.Deducted() < 0 {
+		t.Fatal("FD accounting broken")
+	}
+	if mg.Weight() != ss.Weight() {
+		t.Fatalf("MG weight %v != SS weight %v", mg.Weight(), ss.Weight())
+	}
+	if mg.Estimate(1) > ss.Estimate(1) {
+		t.Fatal("MG (under)estimate exceeds SpaceSaving (over)estimate")
+	}
+}
+
+func TestRankKError(t *testing.T) {
+	rows := distmat.LowRankMatrix(distmat.PAMAPLike(1500))
+	sv := distmat.NewSVDBaseline(2, 44)
+	distmat.RunMatrix(sv, rows, distmat.NewRoundRobin(2))
+	e, err := distmat.RankKError(sv.Gram(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-3 || math.IsNaN(e) {
+		t.Fatalf("rank-30 error %v on low-rank data", e)
+	}
+}

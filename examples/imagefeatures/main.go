@@ -1,0 +1,64 @@
+// Imagefeatures: continuous PCA over a distributed image-feature stream.
+//
+// The paper's introduction motivates tracking with large-scale image
+// analysis: feature vectors (e.g. 128-dimensional SIFT descriptors) arrive
+// at many data-center nodes, and the search pipeline needs a fresh, global
+// low-rank model — the top principal directions — at all times.
+//
+// This example streams synthetic feature vectors with a planted dominant
+// subspace to 16 "ingest nodes", tracks them with protocol P2, and shows
+// that the principal subspace recovered from the coordinator's tiny
+// approximation matches the exact one.
+//
+//	go run ./examples/imagefeatures
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	distmat "repro"
+)
+
+func main() {
+	const (
+		nodes = 16
+		eps   = 0.05
+		dim   = 128 // SIFT descriptor dimension
+		n     = 15_000
+		topK  = 5 // principal directions the pipeline consumes
+	)
+
+	// Feature stream with an effective rank ~8 signal subspace plus noise.
+	cfg := distmat.MatrixConfig{N: n, D: dim, EffectiveRank: 8, NoiseStd: 0.02, Beta: 500, Seed: 3}
+	rows := distmat.LowRankMatrix(cfg)
+
+	tracker := distmat.NewMatrixP2(nodes, eps, dim)
+	exact := distmat.RunMatrix(tracker, rows, distmat.NewUniformRandom(nodes, 4))
+
+	covErr, err := distmat.CovarianceError(exact, tracker.Gram())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare the top-k principal energy captured by the approximation:
+	// the optimal rank-k residual from both Grams should agree.
+	exactResid, err := distmat.RankKError(exact, topK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approxResid, err := distmat.RankKError(tracker.Gram(), topK)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ingested %d feature vectors (d=%d) at %d nodes\n", n, dim, nodes)
+	fmt.Printf("covariance error:        %.4g (≤ ε = %g guaranteed)\n", covErr, eps)
+	fmt.Printf("top-%d PCA residual:      exact %.4g vs coordinator %.4g (Δ=%.2g)\n",
+		topK, exactResid, approxResid, math.Abs(exactResid-approxResid))
+	fmt.Printf("communication:           %d messages for %d rows (%.1fx saving)\n",
+		tracker.Stats().Total(), n, float64(n)/float64(tracker.Stats().Total()))
+	fmt.Println("\nthe search pipeline can rebuild its PCA model from the coordinator at any")
+	fmt.Println("time instant without ever collecting the raw descriptors centrally.")
+}

@@ -1,0 +1,100 @@
+// Latency: continuous percentile monitoring across a server fleet.
+//
+// A fleet of servers each observes response events; the weight of an event
+// is the bytes served (so percentiles are byte-weighted, not count-weighted
+// — the tail that matters for capacity). The operations center needs live
+// p50/p90/p99 of response latency without shipping per-request logs.
+//
+// This example uses the library's distributed weighted quantile tracker
+// (the companion protocol to heavy hitters, same batched-summary skeleton).
+// Like the paper's P1, its advantage compounds with stream length: summary
+// ships per round are bounded by the q-digest size O(bits/ε) while the
+// naive export grows linearly.
+//
+//	go run ./examples/latency
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	distmat "repro"
+)
+
+// event is one response: latency in milliseconds (bounded to 2^12 ≈ 4 s)
+// and bytes served.
+type event struct {
+	latencyMS uint64
+	bytes     float64
+}
+
+func synthesize(n int, rng *rand.Rand) []event {
+	out := make([]event, n)
+	for i := range out {
+		// Log-normal-ish latency: most requests fast, a heavy tail, plus a
+		// slow storage-backed class with large payloads.
+		var lat float64
+		var bytes float64
+		if rng.Float64() < 0.05 {
+			lat = 50 + 200*rng.ExpFloat64() // storage hits
+			bytes = 50_000 + 100_000*rng.Float64()
+		} else {
+			lat = 0.5 * math.Exp(rng.NormFloat64())
+			bytes = 1 + 2_000*rng.Float64()
+		}
+		if lat >= 1<<12 {
+			lat = 1<<12 - 1
+		}
+		out[i] = event{latencyMS: uint64(lat), bytes: bytes}
+	}
+	return out
+}
+
+func main() {
+	const (
+		servers = 8
+		eps     = 0.05 // ±5% of global byte volume in rank
+		n       = 1_500_000
+		bits    = 12
+	)
+	rng := rand.New(rand.NewSource(9))
+	events := synthesize(n, rng)
+
+	tracker := distmat.NewQuantileTracker(servers, eps, bits)
+	asg := distmat.NewUniformRandom(servers, 10)
+	for _, e := range events {
+		tracker.Process(asg.Next(), e.latencyMS, e.bytes)
+	}
+
+	// Exact byte-weighted percentiles for comparison.
+	sorted := make([]event, len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].latencyMS < sorted[j].latencyMS })
+	var total float64
+	for _, e := range events {
+		total += e.bytes
+	}
+	exactQ := func(phi float64) uint64 {
+		var acc float64
+		for _, e := range sorted {
+			acc += e.bytes
+			if acc >= phi*total {
+				return e.latencyMS
+			}
+		}
+		return sorted[len(sorted)-1].latencyMS
+	}
+
+	fmt.Printf("fleet of %d servers, %d responses, byte-weighted percentiles (ε=%g)\n\n", servers, n, eps)
+	fmt.Printf("%-6s  %-12s  %-12s\n", "pct", "coordinator", "exact")
+	for _, phi := range []float64{0.50, 0.90, 0.99} {
+		fmt.Printf("p%-5.0f  %-12s  %-12s\n", phi*100,
+			fmt.Sprintf("%d ms", tracker.Quantile(phi)),
+			fmt.Sprintf("%d ms", exactQ(phi)))
+	}
+	fmt.Printf("\ncommunication: %d messages (%.1f%% of per-request export; the ratio\n",
+		tracker.Stats().Total(), 100*float64(tracker.Stats().Total())/float64(n))
+	fmt.Println("keeps falling as the stream grows — rounds are logarithmic in total bytes)")
+}

@@ -1,0 +1,91 @@
+// Windowed: track only the *recent* covariance of a drifting distributed
+// stream.
+//
+// The paper's conclusion lists the sliding-window model as an open problem;
+// this example uses the library's tumbling-window construction (the
+// standard restart 2-approximation) to follow a stream whose principal
+// directions rotate over time: an unwindowed tracker averages the regimes
+// together, while the windowed one tracks the live regime.
+//
+//	go run ./examples/windowed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	distmat "repro"
+)
+
+const d = 32
+
+// regimeRow draws a row whose energy concentrates on a regime-specific
+// coordinate block, plus background noise.
+func regimeRow(regime int, rng *rand.Rand) []float64 {
+	row := make([]float64, d)
+	base := (regime * 8) % d
+	for j := 0; j < 8; j++ {
+		row[base+j] = 3 * rng.NormFloat64()
+	}
+	for j := range row {
+		row[j] += 0.05 * rng.NormFloat64()
+	}
+	return row
+}
+
+func main() {
+	const (
+		m      = 6
+		eps    = 0.1
+		window = 4000
+		perReg = 6000 // rows per regime; regime outlives the window
+	)
+	rng := rand.New(rand.NewSource(5))
+
+	windowed := distmat.NewWindowedTracker(window, func() distmat.MatrixTracker {
+		return distmat.NewMatrixP2(m, eps, d)
+	})
+	unwindowed := distmat.NewMatrixP2(m, eps, d)
+	asg1 := distmat.NewUniformRandom(m, 6)
+	asg2 := distmat.NewUniformRandom(m, 6)
+
+	for regime := 0; regime < 3; regime++ {
+		for i := 0; i < perReg; i++ {
+			row := regimeRow(regime, rng)
+			windowed.ProcessRow(asg1.Next(), row)
+			unwindowed.ProcessRow(asg2.Next(), row)
+		}
+	}
+
+	// The live regime (2) occupies coordinates 16..23. Measure how much of
+	// each tracker's spectral energy sits in that block.
+	blockEnergy := func(t distmat.MatrixTracker) float64 {
+		g := t.Gram()
+		var block, total float64
+		for j := 0; j < d; j++ {
+			v := g.At(j, j)
+			total += v
+			if j >= 16 && j < 24 {
+				block += v
+			}
+		}
+		return block / total
+	}
+
+	fmt.Printf("stream: 3 regimes x %d rows, window = %d rows (d=%d, %d sites)\n",
+		perReg, window, d, m)
+	fmt.Printf("windowed tracker:   %.0f%% of energy in the live regime's block (covers last %d rows)\n",
+		100*blockEnergy(windowed), windowed.Covered())
+	fmt.Printf("unwindowed tracker: %.0f%% of energy in the live regime's block (exact all-history share: 33%%)\n",
+		100*blockEnergy(unwindowed))
+
+	if blockEnergy(windowed) < 0.9 {
+		log.Fatal("windowed tracker failed to focus on the live regime")
+	}
+	fmt.Println("\nthe unwindowed tracker suffers twice: old regimes dilute the live one (at best")
+	fmt.Println("33% here), and its send threshold scales with ALL-TIME mass ε·F̂, so a young")
+	fmt.Println("regime can sit entirely below it — within the ε‖A‖²_F guarantee yet invisible.")
+	fmt.Println("the windowed coordinator's thresholds reset with each sub-window, keeping its")
+	fmt.Println("estimate proportional to the recent workload the analyst actually asks about.")
+}

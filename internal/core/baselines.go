@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// NaiveFD is the first baseline of Section 6.2: every site forwards every
+// row to the coordinator (Ω(N) messages), which runs a single centralized
+// Frequent Directions sketch. It gives excellent error at maximal
+// communication.
+type NaiveFD struct {
+	m, d int
+	ell  int
+	acct *stream.Accountant
+	sk   *sketch.FD
+	fro  float64
+}
+
+// NewNaiveFD builds the baseline with an ℓ-row FD sketch at the coordinator.
+func NewNaiveFD(m, ell, d int) *NaiveFD {
+	validateParams(m, 0.5, d) // eps unused
+	return &NaiveFD{
+		m:    m,
+		d:    d,
+		ell:  ell,
+		acct: stream.NewAccountant(m),
+		sk:   sketch.NewFD(ell, d),
+	}
+}
+
+// Name implements Tracker.
+func (b *NaiveFD) Name() string { return "FD" }
+
+// Dim implements Tracker.
+func (b *NaiveFD) Dim() int { return b.d }
+
+// Eps returns the FD sketch's deterministic error bound 1/(ℓ+1).
+func (b *NaiveFD) Eps() float64 { return 1 / float64(b.ell+1) }
+
+// ProcessRow implements Tracker.
+func (b *NaiveFD) ProcessRow(site int, row []float64) {
+	validateSite(site, b.m)
+	validateRow(row, b.d)
+	b.acct.SendUp(1)
+	b.fro += matrix.NormSq(row)
+	b.sk.Append(row)
+}
+
+// Gram implements Tracker.
+func (b *NaiveFD) Gram() *matrix.Sym { return b.sk.Gram() }
+
+// TruncatedGram returns the rank-k truncation of the sketch, the object the
+// Table 1 "FD" row evaluates.
+func (b *NaiveFD) TruncatedGram(k int) *matrix.Sym { return b.sk.TruncatedGram(k) }
+
+// EstimateFrobenius implements Tracker.
+func (b *NaiveFD) EstimateFrobenius() float64 { return b.fro }
+
+// Stats implements Tracker.
+func (b *NaiveFD) Stats() stream.Stats { return b.acct.Stats() }
+
+// NaiveSVD is the second baseline: every row is forwarded and the
+// coordinator retains the exact Gram matrix, from which the optimal rank-k
+// approximation A_k (the offline SVD answer) is computed on demand. It is
+// not a streaming algorithm in the paper's sense — it is the quality
+// optimum.
+type NaiveSVD struct {
+	m, d int
+	acct *stream.Accountant
+	gram *matrix.Sym
+	fro  float64
+}
+
+// NewNaiveSVD builds the exact baseline.
+func NewNaiveSVD(m, d int) *NaiveSVD {
+	validateParams(m, 0.5, d)
+	return &NaiveSVD{m: m, d: d, acct: stream.NewAccountant(m), gram: matrix.NewSym(d)}
+}
+
+// Name implements Tracker.
+func (b *NaiveSVD) Name() string { return "SVD" }
+
+// Dim implements Tracker.
+func (b *NaiveSVD) Dim() int { return b.d }
+
+// Eps returns 0: the exact tracker has no error.
+func (b *NaiveSVD) Eps() float64 { return 0 }
+
+// ProcessRow implements Tracker.
+func (b *NaiveSVD) ProcessRow(site int, row []float64) {
+	validateSite(site, b.m)
+	validateRow(row, b.d)
+	b.acct.SendUp(1)
+	b.fro += matrix.NormSq(row)
+	b.gram.AddOuter(1, row)
+}
+
+// Gram implements Tracker (exact AᵀA).
+func (b *NaiveSVD) Gram() *matrix.Sym { return b.gram.Clone() }
+
+// TruncatedGram returns A_kᵀA_k for the optimal rank-k approximation.
+func (b *NaiveSVD) TruncatedGram(k int) (*matrix.Sym, error) {
+	vals, vecs, err := matrix.EigSym(b.gram)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(vals) {
+		k = len(vals)
+	}
+	for i := 0; i < k; i++ {
+		if vals[i] < 0 {
+			vals[i] = 0
+		}
+	}
+	return matrix.Reconstruct(vecs, vals[:k]), nil
+}
+
+// EstimateFrobenius implements Tracker.
+func (b *NaiveSVD) EstimateFrobenius() float64 { return b.fro }
+
+// Stats implements Tracker.
+func (b *NaiveSVD) Stats() stream.Stats { return b.acct.Stats() }
+
+var (
+	_ Tracker = (*NaiveFD)(nil)
+	_ Tracker = (*NaiveSVD)(nil)
+)
+
+// EllForEps returns the FD sketch size achieving deterministic error ε:
+// ℓ = ⌈1/ε⌉ (the Gram-shrink variant's 1/(ℓ+1) bound).
+func EllForEps(eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		panic("core: need 0 < ε < 1")
+	}
+	return int(math.Ceil(1 / eps))
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// P1 is the batched Frequent Directions protocol of Section 5.1
+// (Algorithms 5.1/5.2), the matrix analogue of heavy-hitters P1. Every site
+// runs an FD sketch with error ε/2 plus a local squared-Frobenius counter
+// F_i; when F_i reaches τ = (ε/2m)·F̂ the site ships its sketch rows to the
+// coordinator and resets. The coordinator merges the sketches (FD is
+// mergeable, so the error stays additive) and broadcasts a refreshed F̂
+// whenever its tally grows past (1+ε/2)·F̂.
+//
+// Guarantee: |‖Ax‖² − ‖Bx‖²| ≤ ε‖A‖²_F.
+// Communication: O((m/ε²)·log(βN)) rows.
+type P1 struct {
+	m, d int
+	eps  float64
+	acct *stream.Accountant
+
+	sites []p1site
+	// Coordinator state.
+	merged *sketch.FD
+	tally  float64 // F_C
+	fhat   float64 // F̂: last broadcast estimate
+}
+
+type p1site struct {
+	sk   *sketch.FD
+	mass float64 // F_i since last ship
+}
+
+// NewP1 builds the protocol for m sites, error ε, dimension d. The site and
+// coordinator FD sketches use ℓ = ⌈2/ε⌉ rows (error ε/2 each, ε in total
+// with the unsent site mass).
+func NewP1(m int, eps float64, d int) *P1 {
+	validateParams(m, eps, d)
+	ell := int(math.Ceil(2/eps)) + 1
+	p := &P1{
+		m:      m,
+		d:      d,
+		eps:    eps,
+		acct:   stream.NewAccountant(m),
+		sites:  make([]p1site, m),
+		merged: sketch.NewFD(ell, d),
+		fhat:   1, // row squared norms are ≥ 1
+	}
+	for i := range p.sites {
+		p.sites[i].sk = sketch.NewFD(ell, d)
+	}
+	return p
+}
+
+// Name implements Tracker.
+func (p *P1) Name() string { return "P1" }
+
+// Dim implements Tracker.
+func (p *P1) Dim() int { return p.d }
+
+// Eps implements Tracker.
+func (p *P1) Eps() float64 { return p.eps }
+
+// ProcessRow implements Tracker (Algorithm 5.1).
+func (p *P1) ProcessRow(site int, row []float64) {
+	validateSite(site, p.m)
+	validateRow(row, p.d)
+	s := &p.sites[site]
+	s.sk.Append(row)
+	s.mass += matrix.NormSq(row)
+	tau := (p.eps / (2 * float64(p.m))) * p.fhat
+	if s.mass >= tau {
+		p.ship(site)
+	}
+}
+
+// ship sends the site's sketch to the coordinator (Algorithm 5.2).
+func (p *P1) ship(site int) {
+	s := &p.sites[site]
+	// Message volume: the sketch rows, with the scalar F_i piggybacked on
+	// the first row (a ship always carries ≥ 1 row, since reaching the mass
+	// threshold requires an arrival). RowBound avoids forcing a
+	// factorization just to count rows.
+	n := s.sk.RowBound()
+	if n < 1 {
+		n = 1
+	}
+	p.acct.SendUpN(n, 1)
+
+	p.merged.Merge(s.sk)
+	p.tally += s.mass
+
+	s.sk.Reset()
+	s.mass = 0
+
+	if p.tally/p.fhat > 1+p.eps/2 {
+		p.fhat = p.tally
+		p.acct.Broadcast(1)
+	}
+}
+
+// Gram implements Tracker.
+func (p *P1) Gram() *matrix.Sym { return p.merged.Gram() }
+
+// EstimateFrobenius implements Tracker.
+func (p *P1) EstimateFrobenius() float64 { return p.tally }
+
+// Stats implements Tracker.
+func (p *P1) Stats() stream.Stats { return p.acct.Stats() }

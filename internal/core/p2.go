@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/stream"
+)
+
+// P2 is the deterministic SVD-threshold protocol of Section 5.2
+// (Algorithms 5.3/5.4), the paper's headline result. Site j accumulates its
+// unsent rows in B_j and, whenever some direction's squared norm
+// ‖B_j v_ℓ‖² = σ_ℓ² reaches (ε/m)·F̂, ships the scaled singular vector
+// σ_ℓ·v_ℓ to the coordinator and removes that direction from B_j. A scalar
+// side-channel maintains F̂ ≈ ‖A‖²_F exactly as in heavy-hitters P2.
+//
+// Guarantee (Theorem 4): 0 ≤ ‖Ax‖² − ‖Bx‖² ≤ ε‖A‖²_F at all times.
+// Communication: O((m/ε)·log(βN)) messages.
+//
+// Implementation notes. B_j is carried as its Gram matrix G_j = B_jᵀB_j
+// (O(d²) space): appending a row is a rank-1 update, the singular pairs of
+// B_j are the eigenpairs of G_j, and deleting a direction zeroes its
+// eigenvalue — all exact. The svd is run in batch mode, as licensed by the
+// paper: after a full decomposition with top eigenvalue λ₁, no direction
+// can reach λ₁ + (new mass) until that much Frobenius mass arrives, so the
+// site defers the next decomposition until λ₁ + newMass ≥ (ε/m)·F̂ — an
+// exact bound, never a heuristic. To avoid re-decomposing every row when λ₁
+// sits just under the threshold, a decomposition ships every direction with
+// σ_ℓ² ≥ (ε/2m)·F̂; shipping more directions than strictly required never
+// hurts the error guarantee and at most doubles the message count.
+type P2 struct {
+	m, d int
+	eps  float64
+	acct *stream.Accountant
+
+	// shipFrac is the fraction of the (ε/m)·F̂ limit at which a
+	// decomposition ships a direction. 0.5 (default) halves the
+	// decomposition count at the price of ≤ 2× messages; 1.0 ships only
+	// what Theorem 4 strictly requires. Exposed for the ablation study.
+	shipFrac float64
+	decomps  int64 // total eigendecompositions across sites (observability)
+
+	sites []p2site
+	// Coordinator state.
+	gram      *matrix.Sym // BᵀB from received σv rows
+	coordFhat float64     // coordinator's running F̂
+	siteFhat  float64     // F̂ as known to the sites (last broadcast)
+	nmsg      int
+}
+
+type p2site struct {
+	gram     *matrix.Sym // G_j = B_jᵀB_j of unsent rows
+	fdelta   float64     // F_j: unsent scalar mass for the F̂ side-channel
+	lamBound float64     // λ₁ at the last decomposition + mass added since
+	// Degenerate-regime shortcut: when the unsent matrix is exactly one
+	// row (common at very small ε, where the protocol approaches
+	// send-everything), its SVD is that row itself and no eigendecomposition
+	// is needed.
+	soleRow []float64
+	empty   bool // gram is exactly zero
+}
+
+// NewP2 builds the protocol for m sites, error ε, dimension d.
+func NewP2(m int, eps float64, d int) *P2 {
+	return NewP2ShipFraction(m, eps, d, 0.5)
+}
+
+// NewP2ShipFraction builds P2 with an explicit ship fraction in (0, 1]
+// (see the shipFrac field); used by the ablation benchmarks.
+func NewP2ShipFraction(m int, eps float64, d int, shipFrac float64) *P2 {
+	validateParams(m, eps, d)
+	if shipFrac <= 0 || shipFrac > 1 {
+		panic(fmt.Sprintf("core: need 0 < shipFrac ≤ 1, got %v", shipFrac))
+	}
+	p := &P2{
+		m:         m,
+		d:         d,
+		eps:       eps,
+		acct:      stream.NewAccountant(m),
+		shipFrac:  shipFrac,
+		sites:     make([]p2site, m),
+		gram:      matrix.NewSym(d),
+		coordFhat: 1,
+		siteFhat:  1,
+	}
+	for i := range p.sites {
+		p.sites[i].gram = matrix.NewSym(d)
+		p.sites[i].empty = true
+	}
+	return p
+}
+
+// Name implements Tracker.
+func (p *P2) Name() string { return "P2" }
+
+// Dim implements Tracker.
+func (p *P2) Dim() int { return p.d }
+
+// Eps implements Tracker.
+func (p *P2) Eps() float64 { return p.eps }
+
+// ProcessRow implements Tracker (Algorithm 5.3).
+func (p *P2) ProcessRow(site int, row []float64) {
+	validateSite(site, p.m)
+	validateRow(row, p.d)
+	s := &p.sites[site]
+	w := matrix.NormSq(row)
+
+	// Scalar side-channel for F̂.
+	s.fdelta += w
+	if s.fdelta >= (p.eps/float64(p.m))*p.siteFhat {
+		p.acct.SendUp(1)
+		p.coordScalar(s.fdelta)
+		s.fdelta = 0
+	}
+
+	// Row accumulation with the exact deferred-svd bound.
+	s.gram.AddOuter(1, row)
+	s.lamBound += w
+	if s.empty {
+		s.soleRow = append(s.soleRow[:0], row...)
+		s.empty = false
+	} else {
+		s.soleRow = nil
+	}
+	if s.lamBound >= (p.eps/float64(p.m))*p.siteFhat {
+		if s.soleRow != nil {
+			// B_j is the single row a: svd(B_j) = (‖a‖, a/‖a‖), so the
+			// shipped σ·v is the row itself.
+			p.acct.SendUp(1)
+			p.gram.AddOuter(1, s.soleRow)
+			s.gram.Reset()
+			s.lamBound = 0
+			s.soleRow = nil
+			s.empty = true
+			return
+		}
+		p.decomposeAndSend(s)
+	}
+}
+
+// decomposeAndSend runs the svd step of Algorithm 5.3 on one site: every
+// direction with σ² ≥ (ε/2m)·F̂ is shipped as the row σ·v and zeroed.
+func (p *P2) decomposeAndSend(s *p2site) {
+	p.decomps++
+	vals, vecs, err := matrix.EigSym(s.gram)
+	if err != nil {
+		vals, vecs, err = matrix.JacobiEigSym(s.gram)
+		if err != nil {
+			panic("core: P2 eigendecomposition failed: " + err.Error())
+		}
+	}
+	shipThresh := p.shipFrac * (p.eps / float64(p.m)) * p.siteFhat
+	sent := false
+	r := make([]float64, p.d)
+	for k, lam := range vals {
+		if lam < shipThresh {
+			break // sorted descending
+		}
+		sigma := math.Sqrt(lam)
+		for i := 0; i < p.d; i++ {
+			r[i] = sigma * vecs.At(i, k)
+		}
+		p.acct.SendUp(1) // one row-sized vector message
+		p.gram.AddOuter(1, r)
+		vals[k] = 0
+		sent = true
+	}
+	top := 0.0
+	for _, lam := range vals {
+		if lam > top {
+			top = lam
+		}
+	}
+	if sent {
+		s.gram = matrix.Reconstruct(vecs, vals)
+		if top <= 0 {
+			s.empty = true
+			s.soleRow = nil
+		}
+	}
+	// Exact deferral bound for the next decomposition: the remaining top
+	// eigenvalue plus future mass.
+	s.lamBound = top
+}
+
+// coordScalar is Algorithm 5.4's scalar handler.
+func (p *P2) coordScalar(fj float64) {
+	p.coordFhat += fj
+	p.nmsg++
+	if p.nmsg >= p.m {
+		p.nmsg = 0
+		p.siteFhat = p.coordFhat
+		p.acct.Broadcast(1)
+	}
+}
+
+// Gram implements Tracker.
+func (p *P2) Gram() *matrix.Sym { return p.gram.Clone() }
+
+// EstimateFrobenius implements Tracker.
+func (p *P2) EstimateFrobenius() float64 { return p.coordFhat }
+
+// Stats implements Tracker.
+func (p *P2) Stats() stream.Stats { return p.acct.Stats() }
+
+// Decompositions returns the number of site eigendecompositions performed,
+// the protocol's dominant computational cost.
+func (p *P2) Decompositions() int64 { return p.decomps }

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// P2SmallSpace is the bounded-site-space variant of P2 that Section 5.2
+// ("Bounding space at sites") describes: instead of the exact unsent matrix
+// B_j, each site keeps two Frequent Directions sketches with error ε/4m —
+// Ã_j over everything it has received and S̃_j over everything it has sent —
+// and tests directions of the implicit B̃_j via ‖B̃_j x‖² = ‖Ã_j x‖² − ‖S̃_j x‖².
+// A direction ships when ‖B̃_j v‖² ≥ (3ε/4m)·F̂, which by the paper's
+// argument sends at most twice as often as the exact protocol and never
+// violates the (ε/m)·F̂ requirement, preserving Theorem 4's guarantee at
+// O(m/ε) rows of site space (versus the main implementation's O(d²) Gram,
+// which wins for moderate d but loses when d ≫ m/ε).
+type P2SmallSpace struct {
+	m, d int
+	eps  float64
+	acct *stream.Accountant
+
+	sites []p2sSite
+	// Coordinator state (identical to P2's).
+	gram      *matrix.Sym
+	coordFhat float64
+	siteFhat  float64
+	nmsg      int
+}
+
+type p2sSite struct {
+	recv     *sketch.FD // Ã_j: all rows received at the site
+	sent     *sketch.FD // S̃_j: all rows shipped to the coordinator
+	fdelta   float64
+	lamBound float64 // upper bound on max direction of B̃_j (same deferral as P2)
+}
+
+// NewP2SmallSpace builds the bounded-space variant for m sites, error ε,
+// dimension d.
+func NewP2SmallSpace(m int, eps float64, d int) *P2SmallSpace {
+	validateParams(m, eps, d)
+	// FD error ε/4m ⇒ ℓ = ⌈4m/ε⌉ rows per sketch (our FD's 1/(ℓ+1) bound).
+	ell := int(math.Ceil(4 * float64(m) / eps))
+	p := &P2SmallSpace{
+		m:         m,
+		d:         d,
+		eps:       eps,
+		acct:      stream.NewAccountant(m),
+		sites:     make([]p2sSite, m),
+		gram:      matrix.NewSym(d),
+		coordFhat: 1,
+		siteFhat:  1,
+	}
+	for i := range p.sites {
+		p.sites[i].recv = sketch.NewFD(ell, d)
+		p.sites[i].sent = sketch.NewFD(ell, d)
+	}
+	return p
+}
+
+// Name implements Tracker.
+func (p *P2SmallSpace) Name() string { return "P2small" }
+
+// Dim implements Tracker.
+func (p *P2SmallSpace) Dim() int { return p.d }
+
+// Eps implements Tracker.
+func (p *P2SmallSpace) Eps() float64 { return p.eps }
+
+// SketchRows returns the per-site sketch size ℓ (space accounting).
+func (p *P2SmallSpace) SketchRows() int { return p.sites[0].recv.Ell() }
+
+// ProcessRow implements Tracker.
+func (p *P2SmallSpace) ProcessRow(site int, row []float64) {
+	validateSite(site, p.m)
+	validateRow(row, p.d)
+	s := &p.sites[site]
+	w := matrix.NormSq(row)
+
+	s.fdelta += w
+	if s.fdelta >= (p.eps/float64(p.m))*p.siteFhat {
+		p.acct.SendUp(1)
+		p.coordScalar(s.fdelta)
+		s.fdelta = 0
+	}
+
+	s.recv.Append(row)
+	s.lamBound += w
+	if s.lamBound >= (p.eps/float64(p.m))*p.siteFhat {
+		p.decomposeAndSend(s)
+	}
+}
+
+// decomposeAndSend eigendecomposes the implicit B̃_j = Ã_j − S̃_j (in the
+// Gram domain) and ships every direction at or above (3ε/8m)·F̂ — half the
+// paper's threshold, mirroring P2's ship-early rule.
+func (p *P2SmallSpace) decomposeAndSend(s *p2sSite) {
+	g := s.recv.Gram()
+	g.SubSym(s.sent.Gram())
+	vals, vecs, err := matrix.EigSym(g)
+	if err != nil {
+		vals, vecs, err = matrix.JacobiEigSym(g)
+		if err != nil {
+			panic("core: P2SmallSpace eigendecomposition failed: " + err.Error())
+		}
+	}
+	shipThresh := (3 * p.eps / (8 * float64(p.m))) * p.siteFhat
+	r := make([]float64, p.d)
+	for k, lam := range vals {
+		if lam < shipThresh {
+			break
+		}
+		sigma := math.Sqrt(lam)
+		for i := 0; i < p.d; i++ {
+			r[i] = sigma * vecs.At(i, k)
+		}
+		p.acct.SendUp(1)
+		p.gram.AddOuter(1, r)
+		s.sent.Append(r) // the shipped row joins S̃_j
+		vals[k] = 0
+	}
+	top := 0.0
+	for _, lam := range vals {
+		if lam > top {
+			top = lam
+		}
+	}
+	if top < 0 {
+		top = 0 // sketch-difference roundoff can dip below zero
+	}
+	s.lamBound = top
+}
+
+func (p *P2SmallSpace) coordScalar(fj float64) {
+	p.coordFhat += fj
+	p.nmsg++
+	if p.nmsg >= p.m {
+		p.nmsg = 0
+		p.siteFhat = p.coordFhat
+		p.acct.Broadcast(1)
+	}
+}
+
+// Gram implements Tracker.
+func (p *P2SmallSpace) Gram() *matrix.Sym { return p.gram.Clone() }
+
+// EstimateFrobenius implements Tracker.
+func (p *P2SmallSpace) EstimateFrobenius() float64 { return p.coordFhat }
+
+// Stats implements Tracker.
+func (p *P2SmallSpace) Stats() stream.Stats { return p.acct.Stats() }
+
+var _ Tracker = (*P2SmallSpace)(nil)

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+func TestP2SmallSpaceGuarantee(t *testing.T) {
+	const m, eps = 4, 0.2
+	rows := lowRankRows(3000)
+	p := NewP2SmallSpace(m, eps, 44)
+	if got := covErr(t, p, rows, m); got > eps {
+		t.Fatalf("P2small err %v exceeds ε=%v", got, eps)
+	}
+}
+
+func TestP2SmallSpaceMatchesP2Closely(t *testing.T) {
+	// With ℓ = 4m/ε ≥ d the sketches run exactly, so the variant should
+	// track plain P2's error within the ship-threshold difference and send
+	// at most ~2× the messages.
+	const m, eps = 4, 0.1
+	rows := lowRankRows(4000)
+	small := NewP2SmallSpace(m, eps, 44)
+	plain := NewP2(m, eps, 44)
+	exact := Run(small, rows, stream.NewUniformRandom(m, 21))
+	Run(plain, rows, stream.NewUniformRandom(m, 21))
+
+	eSmall, err := metrics.CovarianceError(exact, small.Gram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePlain, err := metrics.CovarianceError(exact, plain.Gram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eSmall > eps || ePlain > eps {
+		t.Fatalf("errors exceed ε: small=%v plain=%v", eSmall, ePlain)
+	}
+	if small.Stats().Total() > 3*plain.Stats().Total() {
+		t.Fatalf("P2small messages %d ≫ P2's %d", small.Stats().Total(), plain.Stats().Total())
+	}
+}
+
+func TestP2SmallSpaceOnHighRank(t *testing.T) {
+	const m, eps = 4, 0.25
+	rows := highRankRows(2000)
+	p := NewP2SmallSpace(m, eps, 90)
+	if got := covErr(t, p, rows, m); got > eps {
+		t.Fatalf("P2small err %v exceeds ε=%v on high-rank data", got, eps)
+	}
+}
+
+func TestP2SmallSpaceSketchSizing(t *testing.T) {
+	p := NewP2SmallSpace(5, 0.1, 44)
+	if got := p.SketchRows(); got != 200 {
+		t.Fatalf("ℓ = %d want 4m/ε = 200", got)
+	}
+	if p.Name() != "P2small" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestP2SmallSpaceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewP2SmallSpace(0, 0.1, 4)
+}

@@ -1,0 +1,226 @@
+package gen
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestZipfStreamBasics(t *testing.T) {
+	cfg := DefaultZipfConfig(10000)
+	s := ZipfStream(cfg)
+	if len(s) != 10000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, it := range s {
+		if it.Weight < 1 || it.Weight > cfg.Beta {
+			t.Fatalf("weight %v out of [1,β]", it.Weight)
+		}
+		if it.Elem >= uint64(cfg.Universe) {
+			t.Fatalf("elem %d out of universe", it.Elem)
+		}
+	}
+}
+
+func TestZipfStreamDeterministic(t *testing.T) {
+	cfg := DefaultZipfConfig(100)
+	a, b := ZipfStream(cfg), ZipfStream(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+}
+
+func TestZipfSkewProducesHeavyHead(t *testing.T) {
+	// With skew 2 the most frequent element must dominate: rank 0 carries
+	// ≥ 40% of occurrences asymptotically (ζ(2) = π²/6, P(0) ≈ 0.61).
+	s := ZipfStream(DefaultZipfConfig(50000))
+	counts := make(map[uint64]int)
+	for _, it := range s {
+		counts[it.Elem]++
+	}
+	if c := counts[0]; float64(c) < 0.4*float64(len(s)) {
+		t.Fatalf("rank-0 count %d too small for skew 2", c)
+	}
+}
+
+func TestTotalWeightAndExactFrequencies(t *testing.T) {
+	s := []WeightedItem{{1, 2}, {1, 3}, {2, 5}}
+	if TotalWeight(s) != 10 {
+		t.Fatalf("TotalWeight = %v", TotalWeight(s))
+	}
+	f := ExactFrequencies(s)
+	if f[1] != 5 || f[2] != 5 {
+		t.Fatalf("frequencies %v", f)
+	}
+}
+
+func TestZipfConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ZipfStream(ZipfConfig{N: 10, Skew: 0.5, Universe: 10, Beta: 2})
+}
+
+// Property: all generated matrix rows respect the squared-norm bound [1, β].
+func TestRowNormBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := PAMAPLike(200)
+		cfg.Seed = seed
+		for _, row := range LowRankMatrix(cfg) {
+			nsq := matrix.NormSq(row)
+			if nsq < 1-1e-9 || nsq > cfg.Beta+1e-9 {
+				return false
+			}
+		}
+		hcfg := MSDLike(200)
+		hcfg.Seed = seed
+		for _, row := range HighRankMatrix(hcfg) {
+			nsq := matrix.NormSq(row)
+			if nsq < 1-1e-9 || nsq > hcfg.Beta+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowRankSpectrumShape(t *testing.T) {
+	cfg := PAMAPLike(4000)
+	rows := LowRankMatrix(cfg)
+	g := matrix.NewSym(cfg.D)
+	for _, r := range rows {
+		g.AddOuter(1, r)
+	}
+	vals, _, err := matrix.EigSym(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, tail float64
+	for i, v := range vals {
+		total += v
+		if i >= 30 {
+			tail += v
+		}
+	}
+	// Low-rank profile: everything beyond rank 30 must be negligible
+	// (this is what makes the PAMAP column of Table 1 behave as it does).
+	if tail/total > 1e-3 {
+		t.Fatalf("tail mass fraction %v too large for low-rank profile", tail/total)
+	}
+}
+
+func TestHighRankSpectrumShape(t *testing.T) {
+	cfg := MSDLike(4000)
+	rows := HighRankMatrix(cfg)
+	g := matrix.NewSym(cfg.D)
+	for _, r := range rows {
+		g.AddOuter(1, r)
+	}
+	vals, _, err := matrix.EigSym(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, tail float64
+	for i, v := range vals {
+		total += v
+		if i >= 50 {
+			tail += v
+		}
+	}
+	// High-rank profile: the rank-50 tail must carry real mass
+	// (this is what keeps Table 1's MSD errors visibly nonzero).
+	if tail/total < 0.02 {
+		t.Fatalf("tail mass fraction %v too small for high-rank profile", tail/total)
+	}
+}
+
+func TestMatrixDeterministic(t *testing.T) {
+	a := LowRankMatrix(PAMAPLike(50))
+	b := LowRankMatrix(PAMAPLike(50))
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed must give identical matrices")
+			}
+		}
+	}
+}
+
+func TestLowRankValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad EffectiveRank")
+		}
+	}()
+	LowRankMatrix(MatrixConfig{N: 1, D: 4, EffectiveRank: 10, Beta: 10})
+}
+
+func TestReadCSVMatrix(t *testing.T) {
+	csv := "h1,h2,h3\n1,2,3\n4,?,6\n7,8,9\n1,2\n"
+	rows, skipped, err := ReadCSVMatrix(strings.NewReader(csv), true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || skipped != 2 {
+		t.Fatalf("rows=%d skipped=%d", len(rows), skipped)
+	}
+	if rows[1][2] != 9 {
+		t.Fatalf("rows[1] = %v", rows[1])
+	}
+}
+
+func TestReadCSVMatrixDropCols(t *testing.T) {
+	csv := "10,1,2\n20,3,4\n"
+	rows, _, err := ReadCSVMatrix(strings.NewReader(csv), false, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(rows[0]) != 2 || rows[0][0] != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestReadCSVMatrixRejectsNaN(t *testing.T) {
+	rows, skipped, err := ReadCSVMatrix(strings.NewReader("NaN,1\n2,3\n"), false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || skipped != 1 {
+		t.Fatalf("rows=%d skipped=%d", len(rows), skipped)
+	}
+}
+
+func TestRandomOrthonormalProperty(t *testing.T) {
+	cfg := PAMAPLike(1)
+	rows := LowRankMatrix(cfg) // exercises randomOrthonormal internally
+	if len(rows) != 1 || len(rows[0]) != 44 {
+		t.Fatal("shape wrong")
+	}
+	// Direct check.
+	basis := randomOrthonormal(newTestRand(5), 10, 4)
+	for i := range basis {
+		for j := range basis {
+			dot := 0.0
+			for k := range basis[i] {
+				dot += basis[i][k] * basis[j][k]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-10 {
+				t.Fatalf("⟨b%d,b%d⟩ = %v want %v", i, j, dot, want)
+			}
+		}
+	}
+}

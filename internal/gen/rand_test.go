@@ -1,0 +1,6 @@
+package gen
+
+import "math/rand"
+
+// newTestRand returns a deterministic rand source for tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

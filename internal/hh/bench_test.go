@@ -1,0 +1,49 @@
+package hh
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// benchItems builds a reusable Zipf stream once.
+var benchItems = func() []gen.WeightedItem {
+	cfg := gen.DefaultZipfConfig(200_000)
+	cfg.Beta = 100
+	return gen.ZipfStream(cfg)
+}()
+
+// benchProtocol measures full-stream throughput of one protocol and reports
+// its message count.
+func benchProtocol(b *testing.B, build func() Protocol) {
+	b.Helper()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		p := build()
+		Run(p, benchItems, stream.NewUniformRandom(10, 3))
+		msgs = p.Stats().Total()
+	}
+	b.ReportMetric(float64(msgs), "msgs")
+	b.ReportMetric(float64(len(benchItems))*float64(b.N)/b.Elapsed().Seconds(), "items/s")
+}
+
+func BenchmarkHHP1(b *testing.B) {
+	benchProtocol(b, func() Protocol { return NewP1(10, 0.01) })
+}
+
+func BenchmarkHHP2(b *testing.B) {
+	benchProtocol(b, func() Protocol { return NewP2(10, 0.01) })
+}
+
+func BenchmarkHHP3(b *testing.B) {
+	benchProtocol(b, func() Protocol { return NewP3(10, 0.01, 1) })
+}
+
+func BenchmarkHHP4(b *testing.B) {
+	benchProtocol(b, func() Protocol { return NewP4(10, 0.01, 1) })
+}
+
+func BenchmarkHHExact(b *testing.B) {
+	benchProtocol(b, func() Protocol { return NewExact(10) })
+}

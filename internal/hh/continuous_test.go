@@ -1,0 +1,83 @@
+package hh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// The HH analogue of the continuous-guarantee tests: |f_e − Ŵ_e| ≤ εW must
+// hold at every time instance, not just at the end of the stream.
+
+// checkContinuousHH replays the stream, checking the frequency guarantee
+// for all elements at regular checkpoints.
+func checkContinuousHH(t *testing.T, p Protocol, items []gen.WeightedItem, m int, slack float64, every int) {
+	t.Helper()
+	asg := stream.NewUniformRandom(m, 123)
+	exact := make(map[uint64]float64)
+	var w float64
+	for i, it := range items {
+		exact[it.Elem] += it.Weight
+		w += it.Weight
+		p.Process(asg.Next(), it.Elem, it.Weight)
+		if (i+1)%every != 0 {
+			continue
+		}
+		for e, fe := range exact {
+			if err := math.Abs(p.Estimate(e) - fe); err > slack*w {
+				t.Fatalf("%s: element %d error %v exceeds %v·W at instant %d",
+					p.Name(), e, err, slack, i+1)
+			}
+		}
+	}
+}
+
+func smallStream(n int, seed int64) []gen.WeightedItem {
+	cfg := gen.DefaultZipfConfig(n)
+	cfg.Beta = 20
+	cfg.Universe = 500 // keep the exact map small for per-instant checks
+	cfg.Seed = seed
+	return gen.ZipfStream(cfg)
+}
+
+func TestP1ContinuousGuarantee(t *testing.T) {
+	checkContinuousHH(t, NewP1(4, 0.1), smallStream(8000, 31), 4, 0.1, 400)
+}
+
+func TestP2ContinuousGuarantee(t *testing.T) {
+	checkContinuousHH(t, NewP2(4, 0.1), smallStream(8000, 32), 4, 0.1, 400)
+}
+
+func TestP3ContinuousGuarantee(t *testing.T) {
+	// Randomized: slack 2ε on a fixed seed.
+	checkContinuousHH(t, NewP3(4, 0.15, 33), smallStream(8000, 33), 4, 0.3, 800)
+}
+
+func TestP4ContinuousGuarantee(t *testing.T) {
+	// Randomized with constant success probability: slack 3ε.
+	checkContinuousHH(t, NewP4(4, 0.15, 34), smallStream(8000, 34), 4, 0.45, 800)
+}
+
+// TestTotalWeightContinuous verifies every protocol's Ŵ tracks W at all
+// times within a constant factor.
+func TestTotalWeightContinuous(t *testing.T) {
+	items := smallStream(6000, 35)
+	protos := []Protocol{NewP1(4, 0.1), NewP2(4, 0.1), NewP3(4, 0.1, 36), NewP4(4, 0.1, 37)}
+	for _, p := range protos {
+		asg := stream.NewUniformRandom(4, 38)
+		var w float64
+		for i, it := range items {
+			w += it.Weight
+			p.Process(asg.Next(), it.Elem, it.Weight)
+			if (i+1)%500 != 0 || i < 1000 {
+				continue // allow a warm-up; early rounds are coarse
+			}
+			got := p.EstimateTotal()
+			if got < 0.3*w || got > 2*w {
+				t.Fatalf("%s: Ŵ=%v far from W=%v at instant %d", p.Name(), got, w, i+1)
+			}
+		}
+	}
+}

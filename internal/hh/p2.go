@@ -1,0 +1,153 @@
+package hh
+
+import (
+	"sort"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// P2 is the deterministic protocol of Section 4.2 (Algorithms 4.3/4.4),
+// the weighted extension of Yi–Zhang. Sites never ship whole summaries:
+// site i reports a scalar when its unsent weight W_i reaches (ε/m)·Ŵ, and
+// reports a single element e when that element's unsent weight Δ_e reaches
+// (ε/m)·Ŵ. The coordinator broadcasts a refreshed Ŵ after every m scalar
+// reports. Sites threshold against the Ŵ they last received, not the
+// coordinator's live tally, exactly as in the paper.
+//
+// Guarantee: |f_e(A) − Ŵ_e| ≤ εW (Theorem 1).
+// Communication: O((m/ε)·log(βN)) messages — a 1/ε factor better than P1.
+type P2 struct {
+	m    int
+	eps  float64
+	acct *stream.Accountant
+
+	sites []p2site
+	// Coordinator state.
+	coordWhat float64 // coordinator's running Ŵ
+	siteWhat  float64 // Ŵ as known to the sites (last broadcast)
+	nmsg      int     // scalar reports since last broadcast
+	estimate  map[uint64]float64
+}
+
+type p2site struct {
+	weight float64 // W_i: unsent weight
+	delta  map[uint64]float64
+	// Optional bounded-space summary standing in for the exact delta map
+	// (the paper's SpaceSaving reduction); nil means exact. `sent` records
+	// what has already been reported per element so the overcounting
+	// summary yields unsent deltas.
+	ss   *sketch.SpaceSaving
+	sent map[uint64]float64
+}
+
+// NewP2 builds the protocol for m sites with error parameter ε, using exact
+// per-site delta maps (space O(distinct elements per site)).
+func NewP2(m int, eps float64) *P2 {
+	return newP2(m, eps, 0)
+}
+
+// NewP2SpaceSaving builds P2 with each site's delta map replaced by a
+// weighted SpaceSaving summary of k counters (k ≤ 0 selects the paper's
+// O(m/ε) sizing), the suggested site-space reduction.
+func NewP2SpaceSaving(m int, eps float64, k int) *P2 {
+	if k < 1 {
+		k = int(float64(m)/eps) + 1
+	}
+	return newP2(m, eps, k)
+}
+
+func newP2(m int, eps float64, ssk int) *P2 {
+	validateParams(m, eps)
+	p := &P2{
+		m:         m,
+		eps:       eps,
+		acct:      stream.NewAccountant(m),
+		sites:     make([]p2site, m),
+		coordWhat: 1, // weights ≥ 1: a valid initial lower bound
+		siteWhat:  1,
+		estimate:  make(map[uint64]float64),
+	}
+	for i := range p.sites {
+		if ssk > 0 {
+			p.sites[i].ss = sketch.NewSpaceSaving(ssk)
+			p.sites[i].sent = make(map[uint64]float64)
+		} else {
+			p.sites[i].delta = make(map[uint64]float64)
+		}
+	}
+	return p
+}
+
+// Name implements Protocol.
+func (p *P2) Name() string { return "P2" }
+
+// Eps implements Protocol.
+func (p *P2) Eps() float64 { return p.eps }
+
+// Process implements Protocol (Algorithm 4.3).
+func (p *P2) Process(site int, elem uint64, w float64) {
+	validateSite(site, p.m)
+	validateWeight(w)
+	s := &p.sites[site]
+	thresh := (p.eps / float64(p.m)) * p.siteWhat
+
+	s.weight += w
+	if s.weight >= thresh {
+		// Send (total, W_i).
+		p.acct.SendUp(1)
+		p.coordTotal(s.weight)
+		s.weight = 0
+		// The broadcast (if any) may have changed the sites' Ŵ.
+		thresh = (p.eps / float64(p.m)) * p.siteWhat
+	}
+
+	var de float64
+	if s.ss != nil {
+		s.ss.Update(elem, w)
+		de = s.ss.Estimate(elem) - s.sent[elem]
+	} else {
+		s.delta[elem] += w
+		de = s.delta[elem]
+	}
+	if de >= thresh {
+		// Send (e, Δ_e).
+		p.acct.SendUp(1)
+		p.estimate[elem] += de
+		if s.ss != nil {
+			s.sent[elem] += de
+		} else {
+			delete(s.delta, elem)
+		}
+	}
+}
+
+// coordTotal is Algorithm 4.4's scalar-message handler.
+func (p *P2) coordTotal(wi float64) {
+	p.coordWhat += wi
+	p.nmsg++
+	if p.nmsg >= p.m {
+		p.nmsg = 0
+		p.siteWhat = p.coordWhat
+		p.acct.Broadcast(1)
+	}
+}
+
+// Estimate implements Protocol.
+func (p *P2) Estimate(elem uint64) float64 { return p.estimate[elem] }
+
+// EstimateTotal implements Protocol: the coordinator's running tally.
+func (p *P2) EstimateTotal() float64 { return p.coordWhat }
+
+// Candidates implements Protocol.
+func (p *P2) Candidates() []sketch.WeightedElement {
+	out := make([]sketch.WeightedElement, 0, len(p.estimate))
+	for e, w := range p.estimate {
+		out = append(out, sketch.WeightedElement{Elem: e, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Elem < out[j].Elem })
+	return out
+}
+
+// Stats implements Protocol.
+func (p *P2) Stats() stream.Stats { return p.acct.Stats() }

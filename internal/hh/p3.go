@@ -1,0 +1,176 @@
+package hh
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/sample"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// P3 is the sampling protocol of Section 4.3 (Algorithms 4.5/4.6): sites
+// draw a priority ρ = w/u for every element and forward those with ρ ≥ τ;
+// the coordinator maintains a priority sample without replacement of size
+// ≥ s = Θ((1/ε²)·log(1/ε)) and doubles τ when the high bucket fills.
+//
+// Guarantee: |f_e(A) − Ŵ_e| ≤ εW with large probability (Theorem 2).
+// Communication: O((m + s)·log(βN/s)) messages.
+type P3 struct {
+	m    int
+	eps  float64
+	acct *stream.Accountant
+	rng  *rand.Rand
+
+	coord *sample.PrioritySampler
+	// tau mirrors the threshold each site currently knows; in this
+	// sequential simulation every site learns a new τ at the same time.
+	tau float64
+}
+
+// NewP3 builds the protocol for m sites with error ε, drawing site
+// randomness from seed. The sample size is the paper's recommendation; use
+// NewP3Size to override it.
+func NewP3(m int, eps float64, seed int64) *P3 {
+	return NewP3Size(m, eps, sample.RecommendedSampleSize(eps), seed)
+}
+
+// NewP3Size builds P3 with an explicit coordinator sample size s.
+func NewP3Size(m int, eps float64, s int, seed int64) *P3 {
+	validateParams(m, eps)
+	return &P3{
+		m:     m,
+		eps:   eps,
+		acct:  stream.NewAccountant(m),
+		rng:   rand.New(rand.NewSource(seed)),
+		coord: sample.NewPrioritySampler(s),
+		tau:   1,
+	}
+}
+
+// Name implements Protocol.
+func (p *P3) Name() string { return "P3" }
+
+// Eps implements Protocol.
+func (p *P3) Eps() float64 { return p.eps }
+
+// SampleSize returns the coordinator's target sample size s.
+func (p *P3) SampleSize() int { return p.coord.TargetSize() }
+
+// Process implements Protocol (Algorithm 4.5).
+func (p *P3) Process(site int, elem uint64, w float64) {
+	validateSite(site, p.m)
+	validateWeight(w)
+	rho := sample.Priority(w, p.rng)
+	if rho < p.tau {
+		return
+	}
+	// Forward (a, w, ρ): one element-sized message.
+	p.acct.SendUp(1)
+	if newRound := p.coord.Offer(sample.Prioritized{Key: elem, Weight: w, Priority: rho}); newRound {
+		p.tau = p.coord.Threshold()
+		p.acct.Broadcast(1)
+	}
+}
+
+// Estimate implements Protocol.
+func (p *P3) Estimate(elem uint64) float64 { return p.coord.EstimateKey(elem) }
+
+// EstimateTotal implements Protocol.
+func (p *P3) EstimateTotal() float64 { return p.coord.EstimateTotal() }
+
+// Candidates implements Protocol.
+func (p *P3) Candidates() []sketch.WeightedElement {
+	kws := p.coord.EstimateAll()
+	out := make([]sketch.WeightedElement, len(kws))
+	for i, kw := range kws {
+		out[i] = sketch.WeightedElement{Elem: kw.Key, Weight: kw.Weight}
+	}
+	return out
+}
+
+// Stats implements Protocol.
+func (p *P3) Stats() stream.Stats { return p.acct.Stats() }
+
+// P3WR is the with-replacement variant of Section 4.3.1: s independent
+// samplers, each site forwarding an element once per sampler whose priority
+// draw passes the threshold, the coordinator keeping each sampler's top-2
+// priorities. It exists to demonstrate (as the paper does) that it is
+// dominated by the without-replacement P3.
+//
+// Communication: O((m + s·log s)·log(βN)) messages.
+type P3WR struct {
+	m    int
+	eps  float64
+	acct *stream.Accountant
+	rng  *rand.Rand
+
+	coord *sample.WRSampler
+	tau   float64
+}
+
+// NewP3WR builds the with-replacement protocol with the paper's sample size.
+func NewP3WR(m int, eps float64, seed int64) *P3WR {
+	return NewP3WRSize(m, eps, sample.RecommendedSampleSize(eps), seed)
+}
+
+// NewP3WRSize builds P3WR with an explicit sampler count s.
+func NewP3WRSize(m int, eps float64, s int, seed int64) *P3WR {
+	validateParams(m, eps)
+	return &P3WR{
+		m:     m,
+		eps:   eps,
+		acct:  stream.NewAccountant(m),
+		rng:   rand.New(rand.NewSource(seed)),
+		coord: sample.NewWRSampler(s),
+		tau:   1,
+	}
+}
+
+// Name implements Protocol.
+func (p *P3WR) Name() string { return "P3wr" }
+
+// Eps implements Protocol.
+func (p *P3WR) Eps() float64 { return p.eps }
+
+// Process implements Protocol.
+func (p *P3WR) Process(site int, elem uint64, w float64) {
+	validateSite(site, p.m)
+	validateWeight(w)
+	idx, pri := sample.SitePriorities(w, p.tau, p.coord.Samplers(), p.rng)
+	if len(idx) == 0 {
+		return
+	}
+	// One message carrying the element plus the list of sampler indices;
+	// its size grows with the number of successes.
+	p.acct.SendUpN(1, 1+len(idx))
+	for t := range idx {
+		if newRound := p.coord.Offer(idx[t], sample.Prioritized{Key: elem, Weight: w, Priority: pri[t]}); newRound {
+			p.tau = p.coord.Threshold()
+			p.acct.Broadcast(1)
+		}
+	}
+}
+
+// Estimate implements Protocol.
+func (p *P3WR) Estimate(elem uint64) float64 { return p.coord.EstimateKey(elem) }
+
+// EstimateTotal implements Protocol.
+func (p *P3WR) EstimateTotal() float64 { return p.coord.EstimateTotal() }
+
+// Candidates implements Protocol.
+func (p *P3WR) Candidates() []sketch.WeightedElement {
+	agg := make(map[uint64]float64)
+	for _, e := range p.coord.Sample() {
+		agg[e.Key] += e.Weight
+	}
+	out := make([]sketch.WeightedElement, 0, len(agg))
+	for e, w := range agg {
+		out = append(out, sketch.WeightedElement{Elem: e, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Elem < out[j].Elem })
+	return out
+}
+
+// Stats implements Protocol.
+func (p *P3WR) Stats() stream.Stats { return p.acct.Stats() }

@@ -1,0 +1,68 @@
+package hh
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// WeightTracker continuously maintains a coordinator-side estimate Ŵ of the
+// global total weight with Ŵ ≤ W ≤ (1+2θ)Ŵ, using the standard
+// threshold-doubling protocol: site i reports its unsent weight V_i when
+// V_i ≥ (θ/m)·Ŵ, and the coordinator broadcasts a new Ŵ when its tally
+// grows past (1+θ)·Ŵ. Total cost O((m/θ)·log_{1+θ}(βN)) messages.
+//
+// Protocol P4 runs one of these with θ = 1/2 to keep its sampling
+// probability p = 2√m/(εŴ) a constant-factor approximation of the ideal.
+type WeightTracker struct {
+	m     int
+	theta float64
+	acct  *stream.Accountant
+
+	what    float64   // Ŵ: last broadcast estimate
+	tally   float64   // coordinator's running sum of reported weight
+	pending []float64 // per-site unsent weight V_i
+}
+
+// NewWeightTracker returns a tracker for m sites with slack θ ∈ (0, 1].
+// The accountant is shared with the owning protocol so its traffic is
+// included in the protocol's message count.
+func NewWeightTracker(m int, theta float64, acct *stream.Accountant) *WeightTracker {
+	if theta <= 0 || theta > 1 {
+		panic(fmt.Sprintf("hh: need 0 < θ ≤ 1, got %v", theta))
+	}
+	return &WeightTracker{
+		m:       m,
+		theta:   theta,
+		acct:    acct,
+		what:    1, // weights are ≥ 1, so Ŵ = 1 is a valid lower bound at start
+		pending: make([]float64, m),
+	}
+}
+
+// Observe processes weight w arriving at site. It returns true if the
+// estimate Ŵ changed (a broadcast happened), so the owner can react (e.g.
+// recompute sampling probabilities).
+func (t *WeightTracker) Observe(site int, w float64) (broadcast bool) {
+	t.pending[site] += w
+	if t.pending[site] < (t.theta/float64(t.m))*t.what {
+		return false
+	}
+	// Site reports its pending weight: one scalar up-message.
+	t.acct.SendUp(1)
+	t.tally += t.pending[site]
+	t.pending[site] = 0
+	if t.tally >= (1+t.theta)*t.what {
+		t.what = t.tally
+		t.acct.Broadcast(1)
+		return true
+	}
+	return false
+}
+
+// Estimate returns Ŵ, the last broadcast estimate known to every site.
+func (t *WeightTracker) Estimate() float64 { return t.what }
+
+// CoordinatorTally returns the coordinator's internal running sum, which
+// leads Ŵ by at most θ·Ŵ.
+func (t *WeightTracker) CoordinatorTally() float64 { return t.tally }

@@ -1,0 +1,84 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSym(n int) *Sym {
+	rng := rand.New(rand.NewSource(1))
+	return randSym(rng, n)
+}
+
+func BenchmarkEigSym44(b *testing.B) {
+	s := benchSym(44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigSym(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigSym90(b *testing.B) {
+	s := benchSym(90)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigSym(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJacobiEigSym44(b *testing.B) {
+	s := benchSym(44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := JacobiEigSym(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVDTall(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randDense(rng, 200, 44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := SVD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQR(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 200, 44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FactorQR(a)
+	}
+}
+
+func BenchmarkGramAddOuter90(b *testing.B) {
+	g := NewSym(90)
+	row := make([]float64, 90)
+	rng := rand.New(rand.NewSource(4))
+	for i := range row {
+		row[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddOuter(1, row)
+	}
+}
+
+func BenchmarkSpectralNormSym90(b *testing.B) {
+	s := benchSym(90)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SpectralNormSym(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSPD builds a random SPD matrix AᵀA + λI.
+func randSPD(rng *rand.Rand, n int) *Sym {
+	a := randDense(rng, n+2, n)
+	s := Gram(a)
+	for i := 0; i < n; i++ {
+		s.Set(i, i, s.At(i, i)+0.1)
+	}
+	return s
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// [[4,2],[2,5]] = L·Lᵀ with L = [[2,0],[1,2]].
+	s := NewSym(2)
+	s.Set(0, 0, 4)
+	s.Set(0, 1, 2)
+	s.Set(1, 1, 5)
+	l, err := Cholesky(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{2, 0}, {1, 2}})
+	if !l.Equal(want, 1e-12) {
+		t.Fatalf("L = %v want %v", l, want)
+	}
+}
+
+// Property: L·Lᵀ reconstructs the input for random SPD matrices.
+func TestCholeskyReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		s := randSPD(rng, n)
+		l, err := Cholesky(s)
+		if err != nil {
+			return false
+		}
+		rec := l.Mul(l.T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(rec.At(i, j)-s.At(i, j)) > 1e-9*(1+s.MaxAbs()) {
+					return false
+				}
+			}
+		}
+		// Lower triangular.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	s := NewSym(2)
+	s.Set(0, 0, 1)
+	s.Set(1, 1, -1)
+	if _, err := Cholesky(s); err == nil {
+		t.Fatal("expected ErrNotPositiveDefinite")
+	}
+	if IsPositiveDefinite(s) {
+		t.Fatal("indefinite matrix reported SPD")
+	}
+	spd := NewSym(1)
+	spd.Set(0, 0, 3)
+	if !IsPositiveDefinite(spd) {
+		t.Fatal("SPD matrix rejected")
+	}
+}
+
+// Property: SolveCholesky inverts the system.
+func TestSolveCholesky(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		s := randSPD(rng, n)
+		l, err := Cholesky(s)
+		if err != nil {
+			return false
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := s.MulVec(xTrue)
+		x := SolveCholesky(l, b)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6*(1+math.Abs(xTrue[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveCholeskyBadLength(t *testing.T) {
+	s := NewSym(2)
+	s.Set(0, 0, 1)
+	s.Set(1, 1, 1)
+	l, _ := Cholesky(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SolveCholesky(l, []float64{1})
+}
+
+// Cross-check: Cholesky agrees with the eigendecomposition on PSD-ness.
+func TestCholeskyEigenConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		s := randSym(rng, 6)
+		vals, _, err := EigSym(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minEig := vals[len(vals)-1]
+		spd := IsPositiveDefinite(s)
+		if minEig > 1e-9 && !spd {
+			t.Fatalf("λmin=%v but Cholesky failed", minEig)
+		}
+		if minEig < -1e-9 && spd {
+			t.Fatalf("λmin=%v but Cholesky succeeded", minEig)
+		}
+	}
+}

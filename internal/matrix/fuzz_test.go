@@ -1,0 +1,132 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeMatrix expands fuzz bytes into a small matrix with entries in
+// [-8, 8); shape is derived from the first two bytes.
+func decodeMatrix(data []byte) *Dense {
+	if len(data) < 3 {
+		return nil
+	}
+	r := 1 + int(data[0]%8)
+	c := 1 + int(data[1]%8)
+	vals := data[2:]
+	if len(vals) < r*c {
+		return nil
+	}
+	m := NewDense(r, c)
+	for i := 0; i < r*c; i++ {
+		m.data[i] = (float64(vals[i]) - 127) / 16
+	}
+	return m
+}
+
+// FuzzSVDIdentities checks the SVD factorization identities on arbitrary
+// small matrices: nonnegative sorted values, Σσ² = ‖A‖²_F, reconstruction.
+func FuzzSVDIdentities(f *testing.F) {
+	f.Add([]byte{3, 2, 10, 20, 30, 40, 50, 60})
+	f.Add([]byte{1, 1, 0})
+	f.Add([]byte{4, 4, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := decodeMatrix(data)
+		if a == nil {
+			return
+		}
+		U, sigma, V, err := SVD(a)
+		if err != nil {
+			t.Fatalf("SVD failed on %v: %v", a, err)
+		}
+		var sum float64
+		for i, s := range sigma {
+			if s < 0 {
+				t.Fatalf("negative singular value %v", s)
+			}
+			if i > 0 && sigma[i] > sigma[i-1]+1e-12 {
+				t.Fatalf("singular values not sorted: %v", sigma)
+			}
+			sum += s * s
+		}
+		if math.Abs(sum-a.FrobeniusSq()) > 1e-8*(1+a.FrobeniusSq()) {
+			t.Fatalf("Σσ²=%v vs ‖A‖²_F=%v", sum, a.FrobeniusSq())
+		}
+		// Reconstruction.
+		n, d := a.Dims()
+		r := len(sigma)
+		scale := 1.0
+		if r > 0 {
+			scale += sigma[0]
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				var rec float64
+				for k := 0; k < r; k++ {
+					rec += U.At(i, k) * sigma[k] * V.At(j, k)
+				}
+				if math.Abs(rec-a.At(i, j)) > 1e-7*scale*float64(r+1) {
+					t.Fatalf("reconstruction off at (%d,%d): %v vs %v", i, j, rec, a.At(i, j))
+				}
+			}
+		}
+	})
+}
+
+// FuzzEigSymIdentities checks the symmetric eigendecomposition on arbitrary
+// small symmetric matrices.
+func FuzzEigSymIdentities(f *testing.F) {
+	f.Add([]byte{3, 3, 10, 20, 30, 40, 50, 60, 70, 80, 90})
+	f.Add([]byte{2, 2, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := decodeMatrix(data)
+		if a == nil || a.Rows() != a.Cols() {
+			return
+		}
+		s := SymFromDense(a)
+		vals, V, err := EigSym(s)
+		if err != nil {
+			t.Fatalf("EigSym failed: %v", err)
+		}
+		if !IsOrthonormalCols(V, 1e-8) {
+			t.Fatal("eigenvectors not orthonormal")
+		}
+		// Trace identity.
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(sum-s.Trace()) > 1e-8*(1+math.Abs(s.Trace())) {
+			t.Fatalf("Σλ=%v vs trace=%v", sum, s.Trace())
+		}
+		// Reconstruction.
+		rec := Reconstruct(V, vals)
+		n := s.Dim()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(rec.At(i, j)-s.At(i, j)) > 1e-7*(1+s.MaxAbs())*float64(n) {
+					t.Fatalf("reconstruction off at (%d,%d)", i, j)
+				}
+			}
+		}
+	})
+}
+
+// FuzzQRIdentities checks QR on arbitrary small tall matrices.
+func FuzzQRIdentities(f *testing.F) {
+	f.Add([]byte{4, 2, 10, 20, 30, 40, 50, 60, 70, 80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := decodeMatrix(data)
+		if a == nil || a.Rows() < a.Cols() {
+			return
+		}
+		qr := FactorQR(a)
+		q, r := qr.Q(), qr.R()
+		if !IsOrthonormalCols(q, 1e-8) {
+			t.Fatal("Q not orthonormal")
+		}
+		if !q.Mul(r).Equal(a, 1e-7*(1+a.MaxAbs())*float64(a.Cols())) {
+			t.Fatal("QR != A")
+		}
+	})
+}

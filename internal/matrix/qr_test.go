@@ -1,0 +1,119 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, dims := range [][2]int{{1, 1}, {4, 4}, {10, 3}, {30, 7}} {
+		a := randDense(rng, dims[0], dims[1])
+		f := FactorQR(a)
+		q, r := f.Q(), f.R()
+		if !IsOrthonormalCols(q, 1e-10) {
+			t.Fatalf("%v: Q not orthonormal", dims)
+		}
+		if !q.Mul(r).Equal(a, 1e-9*(1+a.MaxAbs())) {
+			t.Fatalf("%v: QR != A", dims)
+		}
+		// R upper triangular.
+		for i := 1; i < r.Rows(); i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("%v: R not upper triangular at (%d,%d)", dims, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestQRWidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wide QR")
+		}
+	}()
+	FactorQR(NewDense(2, 5))
+}
+
+func TestQRFullRank(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	if !FactorQR(a).FullRank() {
+		t.Fatal("full-rank matrix reported rank deficient")
+	}
+	b := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if FactorQR(b).FullRank() {
+		t.Fatal("rank-1 matrix reported full rank")
+	}
+}
+
+// Property: QR least-squares solve matches the normal equations on
+// well-conditioned random systems.
+func TestQRSolveLeastSquares(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		m := n + r.Intn(6)
+		a := randDense(r, m, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = r.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		f := FactorQR(a)
+		if !f.FullRank() {
+			return true // skip the measure-zero degenerate draw
+		}
+		x := f.Solve(b)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-7*(1+math.Abs(xTrue[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRSolveOverdetermined(t *testing.T) {
+	// Overdetermined inconsistent system: the solution must satisfy the
+	// normal equations AᵀA x = Aᵀ b.
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	b := []float64{1, 2, 0}
+	x := FactorQR(a).Solve(b)
+	atb := a.T().MulVec(b)
+	atax := Gram(a).MulVec(x)
+	for i := range atb {
+		if math.Abs(atax[i]-atb[i]) > 1e-10 {
+			t.Fatalf("normal equations violated: AᵀAx=%v Aᵀb=%v", atax, atb)
+		}
+	}
+}
+
+func TestOrthonormalizeColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randDense(rng, 12, 5)
+	q := OrthonormalizeColumns(a)
+	if !IsOrthonormalCols(q, 1e-10) {
+		t.Fatal("columns not orthonormal")
+	}
+	// Span preserved: projecting A onto Q recovers A.
+	proj := q.Mul(q.T().Mul(a))
+	if !proj.Equal(a, 1e-8*(1+a.MaxAbs())) {
+		t.Fatal("orthonormalization changed the column span")
+	}
+}
+
+func TestQRSolveBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad rhs length")
+		}
+	}()
+	FactorQR(NewDense(3, 2)).Solve([]float64{1})
+}

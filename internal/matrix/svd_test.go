@@ -1,0 +1,249 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// checkSVD verifies a ≈ U·diag(sigma)·Vᵀ with orthonormal factors and
+// descending nonnegative singular values.
+func checkSVD(t *testing.T, a, U *Dense, sigma []float64, V *Dense, tol float64) {
+	t.Helper()
+	n, d := a.Dims()
+	r := min(n, d)
+	if len(sigma) != r {
+		t.Fatalf("got %d singular values want %d", len(sigma), r)
+	}
+	for i, s := range sigma {
+		if s < 0 {
+			t.Fatalf("negative singular value sigma[%d] = %v", i, s)
+		}
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(sigma))) {
+		t.Fatalf("singular values not descending: %v", sigma)
+	}
+	if !IsOrthonormalCols(U, tol) {
+		t.Fatal("U columns not orthonormal")
+	}
+	if !IsOrthonormalCols(V, tol) {
+		t.Fatal("V columns not orthonormal")
+	}
+	// Reconstruct.
+	scale := 1.0
+	for _, s := range sigma {
+		if s > scale {
+			scale = s
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			var rec float64
+			for k := 0; k < r; k++ {
+				rec += U.At(i, k) * sigma[k] * V.At(j, k)
+			}
+			if math.Abs(rec-a.At(i, j)) > tol*scale*float64(r) {
+				t.Fatalf("reconstruction mismatch at (%d,%d): got %v want %v",
+					i, j, rec, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 4}, {0, 0}})
+	U, sigma, V, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sigma[0], 4, 1e-12) || !almostEqual(sigma[1], 3, 1e-12) {
+		t.Fatalf("sigma = %v want [4 3]", sigma)
+	}
+	checkSVD(t, a, U, sigma, V, 1e-12)
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: second singular value must be ~0.
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	U, sigma, V, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigma[1] > 1e-12*sigma[0] {
+		t.Fatalf("rank-1 matrix has sigma[1] = %v", sigma[1])
+	}
+	checkSVD(t, a, U, sigma, V, 1e-10)
+}
+
+func TestSVDWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := randDense(rng, 3, 7)
+	U, sigma, V, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if U.Rows() != 3 || V.Rows() != 7 || len(sigma) != 3 {
+		t.Fatalf("wide SVD shapes: U %d×%d, V %d×%d, %d values",
+			U.Rows(), U.Cols(), V.Rows(), V.Cols(), len(sigma))
+	}
+	checkSVD(t, a, U, sigma, V, 1e-10)
+}
+
+func TestSVDTallRandomSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, dims := range [][2]int{{1, 1}, {2, 1}, {1, 3}, {5, 5}, {20, 6}, {6, 20}, {50, 12}} {
+		a := randDense(rng, dims[0], dims[1])
+		U, sigma, V, err := SVD(a)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		checkSVD(t, a, U, sigma, V, 1e-9)
+	}
+}
+
+func TestSVDEmpty(t *testing.T) {
+	U, sigma, V, err := SVD(NewDense(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if U.Rows() != 0 || V.Rows() != 4 || len(sigma) != 0 {
+		t.Fatal("empty SVD shapes wrong")
+	}
+}
+
+// Property: Σσ² = ‖A‖²_F (singular values capture all Frobenius mass).
+func TestSVDFrobeniusIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randDense(r, 1+r.Intn(15), 1+r.Intn(15))
+		_, sigma, _, err := SVD(a)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, s := range sigma {
+			sum += s * s
+		}
+		return math.Abs(sum-a.FrobeniusSq()) <= 1e-9*(1+a.FrobeniusSq())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any unit x, ‖Ax‖² = Σ σᵢ²⟨vᵢ,x⟩² (the identity Section 3 of
+// the paper builds on).
+func TestSVDDirectionalNormIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, d := 2+r.Intn(10), 2+r.Intn(6)
+		a := randDense(r, n, d)
+		_, sigma, V, err := SVD(a)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, d)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		if Normalize(x) == 0 {
+			return true
+		}
+		lhs := NormSq(a.MulVec(x))
+		var rhs float64
+		for k, s := range sigma {
+			dot := Dot(V.Col(k), x)
+			rhs += s * s * dot * dot
+		}
+		return math.Abs(lhs-rhs) <= 1e-8*(1+lhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cross-check: Golub–Reinsch and one-sided Jacobi agree on singular values.
+func TestSVDMatchesJacobiSVD(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, d := 1+r.Intn(12), 1+r.Intn(12)
+		a := randDense(r, n, d)
+		_, s1, _, err1 := SVD(a)
+		_, s2, _, err2 := JacobiSVD(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		scale := 1.0
+		if len(s1) > 0 {
+			scale += s1[0]
+		}
+		for i := range s1 {
+			if math.Abs(s1[i]-s2[i]) > 1e-9*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cross-check: squared singular values equal Gram eigenvalues.
+func TestSVDMatchesGramEigen(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randDense(rng, 25, 9)
+	_, sigma, _, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := EigSym(Gram(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sigma {
+		if math.Abs(sigma[i]*sigma[i]-vals[i]) > 1e-8*(1+vals[0]) {
+			t.Fatalf("σ²[%d] = %v vs Gram eigenvalue %v", i, sigma[i]*sigma[i], vals[i])
+		}
+	}
+}
+
+func TestJacobiSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, dims := range [][2]int{{4, 4}, {10, 3}, {3, 10}} {
+		a := randDense(rng, dims[0], dims[1])
+		U, sigma, V, err := JacobiSVD(a)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		checkSVD(t, a, U, sigma, V, 1e-9)
+	}
+}
+
+func TestSingularValues(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 1}})
+	s, err := SingularValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s[0], 2, 1e-12) || !almostEqual(s[1], 1, 1e-12) {
+		t.Fatalf("SingularValues = %v", s)
+	}
+}
+
+func TestSVDIllConditioned(t *testing.T) {
+	// Matrix with widely spread singular values must still reconstruct.
+	a := FromRows([][]float64{
+		{1e8, 0, 0},
+		{0, 1, 0},
+		{0, 0, 1e-8},
+		{1e8, 1, 1e-8},
+	})
+	U, sigma, V, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSVD(t, a, U, sigma, V, 1e-9)
+}

@@ -1,0 +1,223 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sym is a symmetric d×d matrix stored densely. It is the workhorse
+// representation for Gram matrices AᵀA: appending a stream row a to A is the
+// rank-1 update G += a·aᵀ, and the right singular vectors and squared
+// singular values of A are exactly the eigenpairs of G. The zero value is not
+// usable; construct with NewSym.
+type Sym struct {
+	n    int
+	data []float64 // row-major, full storage, kept symmetric
+}
+
+// NewSym returns a d×d symmetric zero matrix.
+func NewSym(d int) *Sym {
+	if d < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %d", d))
+	}
+	return &Sym{n: d, data: make([]float64, d*d)}
+}
+
+// SymFromDense copies the symmetric part (S+Sᵀ)/2 of a square matrix.
+func SymFromDense(m *Dense) *Sym {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("matrix: SymFromDense of %d×%d", m.rows, m.cols))
+	}
+	s := NewSym(m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			s.data[i*m.rows+j] = (m.At(i, j) + m.At(j, i)) / 2
+		}
+	}
+	return s
+}
+
+// Dim returns d.
+func (s *Sym) Dim() int { return s.n }
+
+// At returns element (i,j).
+func (s *Sym) At(i, j int) float64 {
+	if i < 0 || i >= s.n || j < 0 || j >= s.n {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %d×%d", i, j, s.n, s.n))
+	}
+	return s.data[i*s.n+j]
+}
+
+// Set assigns elements (i,j) and (j,i).
+func (s *Sym) Set(i, j int, v float64) {
+	if i < 0 || i >= s.n || j < 0 || j >= s.n {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %d×%d", i, j, s.n, s.n))
+	}
+	s.data[i*s.n+j] = v
+	s.data[j*s.n+i] = v
+}
+
+// AddOuter performs the rank-1 update s += w·(a aᵀ).
+func (s *Sym) AddOuter(w float64, a []float64) {
+	if len(a) != s.n {
+		panic(fmt.Sprintf("matrix: outer product of length-%d vector with %d×%d", len(a), s.n, s.n))
+	}
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		wai := w * ai
+		row := s.data[i*s.n : (i+1)*s.n]
+		for j, aj := range a {
+			row[j] += wai * aj
+		}
+	}
+}
+
+// AddSym adds b to s in place.
+func (s *Sym) AddSym(b *Sym) {
+	if s.n != b.n {
+		panic(fmt.Sprintf("matrix: add %d×%d to %d×%d", b.n, b.n, s.n, s.n))
+	}
+	for i := range s.data {
+		s.data[i] += b.data[i]
+	}
+}
+
+// SubSym subtracts b from s in place.
+func (s *Sym) SubSym(b *Sym) {
+	if s.n != b.n {
+		panic(fmt.Sprintf("matrix: sub %d×%d from %d×%d", b.n, b.n, s.n, s.n))
+	}
+	for i := range s.data {
+		s.data[i] -= b.data[i]
+	}
+}
+
+// Scale multiplies every entry by c in place.
+func (s *Sym) Scale(c float64) {
+	for i := range s.data {
+		s.data[i] *= c
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Sym) Clone() *Sym {
+	out := &Sym{n: s.n, data: make([]float64, len(s.data))}
+	copy(out.data, s.data)
+	return out
+}
+
+// Reset zeroes the matrix in place.
+func (s *Sym) Reset() {
+	for i := range s.data {
+		s.data[i] = 0
+	}
+}
+
+// Trace returns the trace of s. For a Gram matrix AᵀA this is ‖A‖²_F.
+func (s *Sym) Trace() float64 {
+	var t float64
+	for i := 0; i < s.n; i++ {
+		t += s.data[i*s.n+i]
+	}
+	return t
+}
+
+// Quad returns the quadratic form xᵀ·s·x. For a Gram matrix AᵀA this is
+// ‖Ax‖².
+func (s *Sym) Quad(x []float64) float64 {
+	if len(x) != s.n {
+		panic(fmt.Sprintf("matrix: quadratic form with length-%d vector on %d×%d", len(x), s.n, s.n))
+	}
+	var q float64
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := s.data[i*s.n : (i+1)*s.n]
+		q += xi * Dot(row, x)
+	}
+	return q
+}
+
+// MulVec returns s·x.
+func (s *Sym) MulVec(x []float64) []float64 {
+	if len(x) != s.n {
+		panic(fmt.Sprintf("matrix: multiply %d×%d by vector of length %d", s.n, s.n, len(x)))
+	}
+	out := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = Dot(s.data[i*s.n:(i+1)*s.n], x)
+	}
+	return out
+}
+
+// Dense returns a dense copy of s.
+func (s *Sym) Dense() *Dense {
+	d := NewDense(s.n, s.n)
+	copy(d.data, s.data)
+	return d
+}
+
+// MaxAbs returns the largest absolute entry.
+func (s *Sym) MaxAbs() float64 {
+	var m float64
+	for _, v := range s.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// RawData returns a copy of the full row-major storage, for serialization.
+func (s *Sym) RawData() []float64 {
+	out := make([]float64, len(s.data))
+	copy(out, s.data)
+	return out
+}
+
+// SymFromData reconstructs a Sym from RawData output. The data is copied
+// and symmetrized defensively.
+func SymFromData(d int, data []float64) *Sym {
+	if len(data) != d*d {
+		panic(fmt.Sprintf("matrix: %d values for a %d×%d symmetric matrix", len(data), d, d))
+	}
+	s := NewSym(d)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			s.Set(i, j, (data[i*d+j]+data[j*d+i])/2)
+		}
+	}
+	return s
+}
+
+// Gram returns AᵀA for a row matrix A.
+func Gram(a *Dense) *Sym {
+	g := NewSym(a.cols)
+	for i := 0; i < a.rows; i++ {
+		g.AddOuter(1, a.Row(i))
+	}
+	return g
+}
+
+// Reconstruct returns the symmetric matrix V·diag(vals)·Vᵀ where the columns
+// of V are eigenvectors. Only the first len(vals) columns of V are used.
+func Reconstruct(v *Dense, vals []float64) *Sym {
+	if len(vals) > v.cols {
+		panic(fmt.Sprintf("matrix: %d eigenvalues for %d eigenvectors", len(vals), v.cols))
+	}
+	s := NewSym(v.rows)
+	col := make([]float64, v.rows)
+	for k, lam := range vals {
+		if lam == 0 {
+			continue
+		}
+		for i := 0; i < v.rows; i++ {
+			col[i] = v.At(i, k)
+		}
+		s.AddOuter(lam, col)
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sketch"
+)
+
+// HHCoordinator is the coordinator half of heavy-hitters protocol P2
+// (Algorithm 4.4): it accumulates scalar and element reports from sites and
+// broadcasts a refreshed Ŵ after every m scalar reports. Thread-safe; no
+// lock is held across broadcast sends.
+type HHCoordinator struct {
+	m   int
+	eps float64
+
+	mu       sync.Mutex
+	what     float64 // Ŵ: running total estimate
+	nmsg     int     // scalar reports since last broadcast
+	estimate map[uint64]float64
+	received int64
+	bcasts   int64
+
+	broadcast Sender // fan-out to all sites (transport's responsibility)
+}
+
+// NewHHCoordinator builds the coordinator for m sites at error ε.
+// broadcast delivers one message to every site.
+func NewHHCoordinator(m int, eps float64, broadcast Sender) (*HHCoordinator, error) {
+	if err := validate(m, eps); err != nil {
+		return nil, err
+	}
+	if broadcast == nil {
+		return nil, fmt.Errorf("node: nil broadcast sender")
+	}
+	return &HHCoordinator{
+		m:         m,
+		eps:       eps,
+		what:      1,
+		estimate:  make(map[uint64]float64),
+		broadcast: broadcast,
+	}, nil
+}
+
+// Handle processes one site message.
+func (c *HHCoordinator) Handle(m Message) error {
+	c.mu.Lock()
+	var toSend *Message
+	switch m.Kind {
+	case KindTotal:
+		c.received++
+		c.what += m.Value
+		c.nmsg++
+		if c.nmsg >= c.m {
+			c.nmsg = 0
+			c.bcasts++
+			toSend = &Message{Kind: KindEstimate, Value: c.what}
+		}
+	case KindElement:
+		c.received++
+		c.estimate[m.Elem] += m.Value
+	default:
+		c.mu.Unlock()
+		return fmt.Errorf("node: coordinator received %v message", m.Kind)
+	}
+	c.mu.Unlock()
+
+	if toSend != nil {
+		return c.broadcast.Send(*toSend)
+	}
+	return nil
+}
+
+// Estimate returns Ŵ_e for an element.
+func (c *HHCoordinator) Estimate(elem uint64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.estimate[elem]
+}
+
+// EstimateTotal returns the running Ŵ.
+func (c *HHCoordinator) EstimateTotal() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.what
+}
+
+// HeavyHitters returns every element with Ŵ_e/Ŵ ≥ φ − ε/2, sorted by
+// descending estimate (the paper's query rule).
+func (c *HHCoordinator) HeavyHitters(phi float64) []sketch.WeightedElement {
+	if phi <= 0 || phi > 1 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	thresh := (phi - c.eps/2) * c.what
+	var out []sketch.WeightedElement
+	for e, w := range c.estimate {
+		if w >= thresh {
+			out = append(out, sketch.WeightedElement{Elem: e, Weight: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Elem < out[j].Elem
+	})
+	return out
+}
+
+// Received returns the number of site messages processed.
+func (c *HHCoordinator) Received() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.received
+}
+
+// Broadcasts returns the number of estimate broadcasts issued.
+func (c *HHCoordinator) Broadcasts() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bcasts
+}

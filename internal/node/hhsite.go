@@ -1,0 +1,114 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HHSite is the site half of heavy-hitters protocol P2 (Algorithm 4.3) as
+// a standalone, thread-safe state machine: feed it items from any
+// goroutine, deliver coordinator broadcasts from the transport's receive
+// loop, and it emits messages through the configured Sender.
+//
+// Locking discipline: no lock is ever held across a Send, so transports
+// may deliver synchronously (direct call into the coordinator) without
+// deadlock, and lock order between site and coordinator never cycles.
+type HHSite struct {
+	id  int
+	m   int
+	eps float64
+
+	mu     sync.Mutex
+	what   float64 // Ŵ as last received from the coordinator
+	weight float64 // W_i: unreported total weight
+	delta  map[uint64]float64
+	sent   int64 // messages emitted (observability)
+
+	out Sender
+}
+
+// NewHHSite builds site id of m running at error ε, emitting to out.
+func NewHHSite(id, m int, eps float64, out Sender) (*HHSite, error) {
+	if err := validate(m, eps); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= m {
+		return nil, fmt.Errorf("node: site id %d out of range [0,%d)", id, m)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("node: nil sender")
+	}
+	return &HHSite{
+		id:    id,
+		m:     m,
+		eps:   eps,
+		what:  1, // weights ≥ 1: valid initial lower bound
+		delta: make(map[uint64]float64),
+		out:   out,
+	}, nil
+}
+
+// ID returns the site id.
+func (s *HHSite) ID() int { return s.id }
+
+// HandleItem processes one stream arrival at this site.
+func (s *HHSite) HandleItem(elem uint64, w float64) error {
+	if w <= 0 {
+		return fmt.Errorf("node: need positive weight, got %v", w)
+	}
+	s.mu.Lock()
+	var outbox [2]Message
+	n := 0
+
+	thresh := (s.eps / float64(s.m)) * s.what
+	s.weight += w
+	if s.weight >= thresh {
+		outbox[n] = Message{Kind: KindTotal, Site: s.id, Value: s.weight}
+		n++
+		s.weight = 0
+	}
+	s.delta[elem] += w
+	if s.delta[elem] >= thresh {
+		outbox[n] = Message{Kind: KindElement, Site: s.id, Elem: elem, Value: s.delta[elem]}
+		n++
+		delete(s.delta, elem)
+	}
+	s.sent += int64(n)
+	s.mu.Unlock()
+
+	for i := 0; i < n; i++ {
+		if err := s.out.Send(outbox[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HandleBroadcast applies a coordinator estimate broadcast. Messages of
+// other kinds are rejected.
+func (s *HHSite) HandleBroadcast(m Message) error {
+	if m.Kind != KindEstimate {
+		return fmt.Errorf("node: site received %v message", m.Kind)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Estimates are monotone; keep the max to tolerate reordering.
+	if m.Value > s.what {
+		s.what = m.Value
+	}
+	return nil
+}
+
+// Sent returns how many messages this site has emitted.
+func (s *HHSite) Sent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}
+
+// Estimate returns the site's current view of Ŵ.
+func (s *HHSite) Estimate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.what
+}

@@ -1,0 +1,127 @@
+package node
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+// TestLocalMatClusterGuarantee runs the matrix P2 deployment with one
+// feeder goroutine per site and verifies the covariance guarantee under
+// true concurrency (run with -race).
+func TestLocalMatClusterGuarantee(t *testing.T) {
+	const m, eps, d = 6, 0.2, 44
+	cl, err := NewLocalMatCluster(m, eps, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := gen.PAMAPLike(3000)
+	rows := gen.LowRankMatrix(cfg)
+	perSite := make([][][]float64, m)
+	for i, r := range rows {
+		perSite[i%m] = append(perSite[i%m], r)
+	}
+
+	var wg sync.WaitGroup
+	for site := 0; site < m; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			for _, r := range perSite[site] {
+				if err := cl.Feed(site, r); err != nil {
+					t.Errorf("feed: %v", err)
+					return
+				}
+			}
+		}(site)
+	}
+	wg.Wait()
+
+	exact := matrix.NewSym(d)
+	for _, r := range rows {
+		exact.AddOuter(1, r)
+	}
+	e, err := metrics.CovarianceError(exact, cl.Coordinator.Gram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrency perturbs scheduling, not the bound structure: allow 1.5ε.
+	if e > 1.5*eps {
+		t.Fatalf("covariance error %v exceeds 1.5ε=%v", e, 1.5*eps)
+	}
+	if cl.Coordinator.Received() == 0 {
+		t.Fatal("no traffic")
+	}
+	var sent int64
+	for _, s := range cl.Sites {
+		sent += s.Sent()
+	}
+	if sent >= int64(len(rows)) {
+		t.Fatalf("sites sent %d messages for %d rows", sent, len(rows))
+	}
+}
+
+func TestMatSiteRejectsBadRows(t *testing.T) {
+	s, err := NewMatSite(0, 2, 0.2, 4, SenderFunc(func(Message) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleRow([]float64{1, 2}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if err := s.HandleRow([]float64{0, 0, 0, 0}); err == nil {
+		t.Fatal("expected zero-norm error")
+	}
+	if err := s.HandleBroadcast(Message{Kind: KindTotal}); err == nil {
+		t.Fatal("expected kind error")
+	}
+}
+
+func TestMatCoordinatorRejectsBadRows(t *testing.T) {
+	c, err := NewMatCoordinator(2, 0.2, 4, SenderFunc(func(Message) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Handle(Message{Kind: KindRow, Vec: []float64{1}}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if err := c.Handle(Message{Kind: KindHello}); err == nil {
+		t.Fatal("expected kind error")
+	}
+}
+
+// TestMatSiteShipsWhatItMust feeds a single dominant direction and checks
+// the site ships it once its mass crosses the threshold.
+func TestMatSiteShipsWhatItMust(t *testing.T) {
+	var got []Message
+	s, err := NewMatSite(0, 1, 0.5, 3, SenderFunc(func(m Message) error {
+		got = append(got, m)
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{2, 0, 0}
+	for i := 0; i < 10; i++ {
+		if err := s.HandleRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rows int
+	for _, m := range got {
+		if m.Kind == KindRow {
+			rows++
+			// The shipped direction must align with e1.
+			if matrix.NormSq(m.Vec) <= 0 || m.Vec[1] != 0 || m.Vec[2] != 0 {
+				t.Fatalf("shipped row %v not along e1", m.Vec)
+			}
+		}
+	}
+	if rows == 0 {
+		t.Fatal("site never shipped the dominant direction")
+	}
+}

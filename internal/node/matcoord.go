@@ -1,0 +1,110 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// MatCoordinator is the coordinator half of matrix tracking protocol P2
+// (Algorithm 5.4): it accumulates shipped σ·v rows into the approximation's
+// Gram matrix and broadcasts a refreshed F̂ after every m scalar reports.
+// Thread-safe; no lock is held across broadcast sends.
+type MatCoordinator struct {
+	m   int
+	d   int
+	eps float64
+
+	mu       sync.Mutex
+	fhat     float64
+	nmsg     int
+	gram     *matrix.Sym
+	received int64
+	bcasts   int64
+
+	broadcast Sender
+}
+
+// NewMatCoordinator builds the coordinator for m sites at error ε and row
+// dimension d. broadcast delivers one message to every site.
+func NewMatCoordinator(m int, eps float64, d int, broadcast Sender) (*MatCoordinator, error) {
+	if err := validate(m, eps); err != nil {
+		return nil, err
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("node: need d ≥ 1, got %d", d)
+	}
+	if broadcast == nil {
+		return nil, fmt.Errorf("node: nil broadcast sender")
+	}
+	return &MatCoordinator{
+		m:         m,
+		d:         d,
+		eps:       eps,
+		fhat:      1,
+		gram:      matrix.NewSym(d),
+		broadcast: broadcast,
+	}, nil
+}
+
+// Handle processes one site message.
+func (c *MatCoordinator) Handle(m Message) error {
+	c.mu.Lock()
+	var toSend *Message
+	switch m.Kind {
+	case KindTotal:
+		c.received++
+		c.fhat += m.Value
+		c.nmsg++
+		if c.nmsg >= c.m {
+			c.nmsg = 0
+			c.bcasts++
+			toSend = &Message{Kind: KindEstimate, Value: c.fhat}
+		}
+	case KindRow:
+		if len(m.Vec) != c.d {
+			c.mu.Unlock()
+			return fmt.Errorf("node: row of length %d, want %d", len(m.Vec), c.d)
+		}
+		c.received++
+		c.gram.AddOuter(1, m.Vec)
+	default:
+		c.mu.Unlock()
+		return fmt.Errorf("node: coordinator received %v message", m.Kind)
+	}
+	c.mu.Unlock()
+
+	if toSend != nil {
+		return c.broadcast.Send(*toSend)
+	}
+	return nil
+}
+
+// Gram returns a copy of the coordinator's BᵀB approximation.
+func (c *MatCoordinator) Gram() *matrix.Sym {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gram.Clone()
+}
+
+// EstimateFrobenius returns the running F̂.
+func (c *MatCoordinator) EstimateFrobenius() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fhat
+}
+
+// Received returns the number of site messages processed.
+func (c *MatCoordinator) Received() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.received
+}
+
+// Broadcasts returns the number of estimate broadcasts issued.
+func (c *MatCoordinator) Broadcasts() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bcasts
+}

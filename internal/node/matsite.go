@@ -1,0 +1,153 @@
+package node
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// MatSite is the site half of matrix tracking protocol P2 (Algorithm 5.3)
+// as a standalone, thread-safe state machine. It carries its unsent rows as
+// a Gram matrix, runs the exact deferred-decomposition rule described in
+// internal/core, and ships σ·v rows plus scalar F_j reports through the
+// Sender. No lock is held across a Send.
+type MatSite struct {
+	id  int
+	m   int
+	d   int
+	eps float64
+
+	mu       sync.Mutex
+	fhat     float64 // F̂ as last received
+	gram     *matrix.Sym
+	fdelta   float64
+	lamBound float64
+	sent     int64
+
+	out Sender
+}
+
+// NewMatSite builds site id of m at error ε for d-dimensional rows.
+func NewMatSite(id, m int, eps float64, d int, out Sender) (*MatSite, error) {
+	if err := validate(m, eps); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= m {
+		return nil, fmt.Errorf("node: site id %d out of range [0,%d)", id, m)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("node: need d ≥ 1, got %d", d)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("node: nil sender")
+	}
+	return &MatSite{
+		id:   id,
+		m:    m,
+		d:    d,
+		eps:  eps,
+		fhat: 1,
+		gram: matrix.NewSym(d),
+		out:  out,
+	}, nil
+}
+
+// ID returns the site id.
+func (s *MatSite) ID() int { return s.id }
+
+// HandleRow processes one matrix row arriving at this site.
+func (s *MatSite) HandleRow(row []float64) error {
+	if len(row) != s.d {
+		return fmt.Errorf("node: row of length %d, want %d", len(row), s.d)
+	}
+	w := matrix.NormSq(row)
+	if w <= 0 {
+		return fmt.Errorf("node: need positive row norm")
+	}
+
+	s.mu.Lock()
+	var outbox []Message
+
+	s.fdelta += w
+	if s.fdelta >= (s.eps/float64(s.m))*s.fhat {
+		outbox = append(outbox, Message{Kind: KindTotal, Site: s.id, Value: s.fdelta})
+		s.fdelta = 0
+	}
+
+	s.gram.AddOuter(1, row)
+	s.lamBound += w
+	if s.lamBound >= (s.eps/float64(s.m))*s.fhat {
+		outbox = append(outbox, s.decompose()...)
+	}
+	s.sent += int64(len(outbox))
+	s.mu.Unlock()
+
+	for _, m := range outbox {
+		if err := s.out.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decompose runs the svd step with the lock held and returns the row
+// messages to ship: every direction with σ² ≥ (ε/2m)·F̂ (see internal/core
+// for why shipping at half the limit is sound and cheaper).
+func (s *MatSite) decompose() []Message {
+	vals, vecs, err := matrix.EigSym(s.gram)
+	if err != nil {
+		vals, vecs, err = matrix.JacobiEigSym(s.gram)
+		if err != nil {
+			// Only reachable on NaN/Inf input, which HandleRow's norm check
+			// already excludes; keep the row mass and carry on.
+			return nil
+		}
+	}
+	shipThresh := (s.eps / (2 * float64(s.m))) * s.fhat
+	var out []Message
+	for k, lam := range vals {
+		if lam < shipThresh {
+			break
+		}
+		sigma := math.Sqrt(lam)
+		r := make([]float64, s.d)
+		for i := 0; i < s.d; i++ {
+			r[i] = sigma * vecs.At(i, k)
+		}
+		out = append(out, Message{Kind: KindRow, Site: s.id, Vec: r})
+		vals[k] = 0
+	}
+	if len(out) > 0 {
+		s.gram = matrix.Reconstruct(vecs, vals)
+	}
+	top := 0.0
+	for _, lam := range vals {
+		if lam > top {
+			top = lam
+		}
+	}
+	s.lamBound = top
+	return out
+}
+
+// HandleBroadcast applies a coordinator F̂ broadcast.
+func (s *MatSite) HandleBroadcast(m Message) error {
+	if m.Kind != KindEstimate {
+		return fmt.Errorf("node: site received %v message", m.Kind)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Value > s.fhat {
+		s.fhat = m.Value
+	}
+	return nil
+}
+
+// Sent returns the number of messages emitted.
+func (s *MatSite) Sent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}

@@ -1,0 +1,89 @@
+// Package node is the deployable runtime for the paper's headline
+// protocols: thread-safe site and coordinator state machines for weighted
+// heavy hitters P2 and matrix tracking P2, decoupled from any transport,
+// plus two transports — in-process (direct calls from concurrent feeder
+// goroutines) and TCP with gob framing (cmd/distdemo shows a full
+// deployment on loopback).
+//
+// The sequential simulator in internal/hh and internal/core remains the
+// vehicle for the paper's experiments (it counts messages exactly and is
+// perfectly reproducible); this package is what a production system embeds.
+// The protocols tolerate the asynchrony by design: a site thresholds
+// against the last estimate it *received*, and the analysis (Sections 4.2
+// and 5.2) only needs that estimate to be a lower bound on the true total,
+// which remains true under arbitrary message reordering between a site and
+// the coordinator on an ordered channel.
+package node
+
+import (
+	"fmt"
+)
+
+// MsgKind discriminates wire messages.
+type MsgKind uint8
+
+// Wire message kinds.
+const (
+	// KindTotal is a site→coordinator scalar: unreported total weight.
+	KindTotal MsgKind = iota
+	// KindElement is a site→coordinator element report: unreported weight
+	// delta for one element.
+	KindElement
+	// KindRow is a site→coordinator matrix row (a shipped σ·v direction).
+	KindRow
+	// KindEstimate is a coordinator→site broadcast of the new global
+	// estimate (Ŵ or F̂).
+	KindEstimate
+	// KindHello is the site registration message on connection-oriented
+	// transports, carrying the site id.
+	KindHello
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case KindTotal:
+		return "total"
+	case KindElement:
+		return "element"
+	case KindRow:
+		return "row"
+	case KindEstimate:
+		return "estimate"
+	case KindHello:
+		return "hello"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// Message is the single wire format shared by both protocols. Exported
+// fields only, so encoding/gob handles it directly.
+type Message struct {
+	Kind  MsgKind
+	Site  int
+	Elem  uint64    // KindElement: the element label
+	Value float64   // KindTotal/KindElement: weight; KindEstimate: Ŵ or F̂
+	Vec   []float64 // KindRow: the row payload
+}
+
+// Sender delivers a message to the other end of a link. Implementations
+// must be safe for concurrent use.
+type Sender interface {
+	Send(Message) error
+}
+
+// SenderFunc adapts a function to Sender.
+type SenderFunc func(Message) error
+
+// Send implements Sender.
+func (f SenderFunc) Send(m Message) error { return f(m) }
+
+func validate(m int, eps float64) error {
+	if m < 1 {
+		return fmt.Errorf("node: need m ≥ 1 sites, got %d", m)
+	}
+	if eps <= 0 || eps >= 1 {
+		return fmt.Errorf("node: need 0 < ε < 1, got %v", eps)
+	}
+	return nil
+}

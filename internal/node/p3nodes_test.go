@@ -1,0 +1,179 @@
+package node
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+func TestLocalP3ClusterGuarantee(t *testing.T) {
+	const m, eps, d = 5, 0.2, 44
+	cl, err := NewLocalP3Cluster(m, eps, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := gen.LowRankMatrix(gen.PAMAPLike(4000))
+	perSite := make([][][]float64, m)
+	for i, r := range rows {
+		perSite[i%m] = append(perSite[i%m], r)
+	}
+	var wg sync.WaitGroup
+	for site := 0; site < m; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			for _, r := range perSite[site] {
+				if err := cl.Feed(site, r); err != nil {
+					t.Errorf("feed: %v", err)
+					return
+				}
+			}
+		}(site)
+	}
+	wg.Wait()
+
+	exact := matrix.NewSym(d)
+	for _, r := range rows {
+		exact.AddOuter(1, r)
+	}
+	e, err := metrics.CovarianceError(exact, cl.Coordinator.Gram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Randomized protocol under concurrent interleaving: slack 2ε.
+	if e > 2*eps {
+		t.Fatalf("covariance error %v exceeds 2ε", e)
+	}
+	// Frobenius estimate unbiasedness (loose CI check).
+	fro := exact.Trace()
+	if got := cl.Coordinator.EstimateFrobenius(); got < 0.5*fro || got > 1.5*fro {
+		t.Fatalf("F̂ = %v vs ‖A‖²_F = %v", got, fro)
+	}
+	// Sampling means far fewer forwarded rows than N once τ has grown.
+	if cl.Coordinator.Received() >= int64(len(rows)) {
+		t.Fatalf("coordinator received %d rows of %d — no sampling happened",
+			cl.Coordinator.Received(), len(rows))
+	}
+	if cl.Coordinator.Broadcasts() == 0 {
+		t.Fatal("threshold never doubled")
+	}
+	if cl.Coordinator.Threshold() <= 1 {
+		t.Fatal("threshold did not grow")
+	}
+}
+
+func TestP3SiteThresholdFiltering(t *testing.T) {
+	var forwarded int
+	s, err := NewP3Site(0, 3, 1, SenderFunc(func(m Message) error {
+		forwarded++
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 1 with weight ≥ 1 rows: always forwarded.
+	for i := 0; i < 50; i++ {
+		if err := s.HandleRow([]float64{1, 1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if forwarded != 50 {
+		t.Fatalf("forwarded %d want 50 at τ=1", forwarded)
+	}
+	// Huge threshold: (almost) nothing passes.
+	if err := s.HandleBroadcast(Message{Kind: KindEstimate, Value: 1e12}); err != nil {
+		t.Fatal(err)
+	}
+	before := forwarded
+	for i := 0; i < 50; i++ {
+		s.HandleRow([]float64{1, 1, 1})
+	}
+	if forwarded-before > 2 {
+		t.Fatalf("%d rows passed a τ=1e12 threshold", forwarded-before)
+	}
+	if s.Sent() != int64(forwarded) {
+		t.Fatal("Sent() inconsistent")
+	}
+}
+
+func TestP3NodesValidation(t *testing.T) {
+	drop := SenderFunc(func(Message) error { return nil })
+	cases := []func() error{
+		func() error { _, err := NewP3Site(-1, 3, 1, drop); return err },
+		func() error { _, err := NewP3Site(0, 0, 1, drop); return err },
+		func() error { _, err := NewP3Site(0, 3, 1, nil); return err },
+		func() error { _, err := NewP3Coordinator(0, 4, drop); return err },
+		func() error { _, err := NewP3Coordinator(3, 0, drop); return err },
+		func() error { _, err := NewP3Coordinator(3, 4, nil); return err },
+		func() error { _, err := NewLocalP3Cluster(0, 0.1, 3, 1); return err },
+	}
+	for i, f := range cases {
+		if f() == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	s, _ := NewP3Site(0, 2, 1, drop)
+	if err := s.HandleRow([]float64{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if err := s.HandleBroadcast(Message{Kind: KindRow}); err == nil {
+		t.Fatal("expected kind error")
+	}
+	c, _ := NewP3Coordinator(2, 4, drop)
+	if err := c.Handle(Message{Kind: KindTotal}); err == nil {
+		t.Fatal("expected kind error")
+	}
+	if err := c.Handle(Message{Kind: KindRow, Vec: []float64{1}}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func BenchmarkLocalHHClusterThroughput(b *testing.B) {
+	cl, err := NewLocalHHCluster(8, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gen.DefaultZipfConfig(100_000)
+	items := gen.ZipfStream(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		if err := cl.Feed(i%8, it.Elem, it.Weight); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "items/s")
+}
+
+func BenchmarkLocalMatClusterThroughput(b *testing.B) {
+	cl, err := NewLocalMatCluster(8, 0.1, 44)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := gen.LowRankMatrix(gen.PAMAPLike(8_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Feed(i%8, rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkLocalP3ClusterThroughput(b *testing.B) {
+	cl, err := NewLocalP3Cluster(8, 0.1, 44, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := gen.LowRankMatrix(gen.PAMAPLike(8_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Feed(i%8, rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

@@ -1,0 +1,187 @@
+package node
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/matrix"
+)
+
+// Checkpoint/restore for the runtime nodes. Snapshots are plain exported
+// structs encoded with encoding/gob, so a deployment can persist protocol
+// state across process restarts without losing the continuous guarantee:
+// a restored node resumes exactly where the snapshot was taken (any rows or
+// items that arrived after the snapshot are the operator's replay
+// responsibility, as with any at-least-once ingestion pipeline).
+
+// HHSiteSnapshot is the serializable state of an HHSite.
+type HHSiteSnapshot struct {
+	ID     int
+	M      int
+	Eps    float64
+	What   float64
+	Weight float64
+	Delta  map[uint64]float64
+	SentN  int64
+}
+
+// Snapshot captures the site's state.
+func (s *HHSite) Snapshot() HHSiteSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delta := make(map[uint64]float64, len(s.delta))
+	for k, v := range s.delta {
+		delta[k] = v
+	}
+	return HHSiteSnapshot{
+		ID: s.id, M: s.m, Eps: s.eps,
+		What: s.what, Weight: s.weight, Delta: delta, SentN: s.sent,
+	}
+}
+
+// RestoreHHSite rebuilds a site from a snapshot, wired to a new sender.
+func RestoreHHSite(snap HHSiteSnapshot, out Sender) (*HHSite, error) {
+	s, err := NewHHSite(snap.ID, snap.M, snap.Eps, out)
+	if err != nil {
+		return nil, err
+	}
+	s.what = snap.What
+	s.weight = snap.Weight
+	s.sent = snap.SentN
+	for k, v := range snap.Delta {
+		s.delta[k] = v
+	}
+	return s, nil
+}
+
+// HHCoordinatorSnapshot is the serializable state of an HHCoordinator.
+type HHCoordinatorSnapshot struct {
+	M        int
+	Eps      float64
+	What     float64
+	NMsg     int
+	Estimate map[uint64]float64
+	Received int64
+	Bcasts   int64
+}
+
+// Snapshot captures the coordinator's state.
+func (c *HHCoordinator) Snapshot() HHCoordinatorSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	est := make(map[uint64]float64, len(c.estimate))
+	for k, v := range c.estimate {
+		est[k] = v
+	}
+	return HHCoordinatorSnapshot{
+		M: c.m, Eps: c.eps, What: c.what, NMsg: c.nmsg,
+		Estimate: est, Received: c.received, Bcasts: c.bcasts,
+	}
+}
+
+// RestoreHHCoordinator rebuilds a coordinator from a snapshot.
+func RestoreHHCoordinator(snap HHCoordinatorSnapshot, broadcast Sender) (*HHCoordinator, error) {
+	c, err := NewHHCoordinator(snap.M, snap.Eps, broadcast)
+	if err != nil {
+		return nil, err
+	}
+	c.what = snap.What
+	c.nmsg = snap.NMsg
+	c.received = snap.Received
+	c.bcasts = snap.Bcasts
+	for k, v := range snap.Estimate {
+		c.estimate[k] = v
+	}
+	return c, nil
+}
+
+// MatSiteSnapshot is the serializable state of a MatSite.
+type MatSiteSnapshot struct {
+	ID       int
+	M        int
+	D        int
+	Eps      float64
+	Fhat     float64
+	Gram     []float64 // row-major d×d
+	Fdelta   float64
+	LamBound float64
+	SentN    int64
+}
+
+// Snapshot captures the site's state.
+func (s *MatSite) Snapshot() MatSiteSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return MatSiteSnapshot{
+		ID: s.id, M: s.m, D: s.d, Eps: s.eps,
+		Fhat: s.fhat, Gram: s.gram.RawData(),
+		Fdelta: s.fdelta, LamBound: s.lamBound, SentN: s.sent,
+	}
+}
+
+// RestoreMatSite rebuilds a site from a snapshot.
+func RestoreMatSite(snap MatSiteSnapshot, out Sender) (*MatSite, error) {
+	s, err := NewMatSite(snap.ID, snap.M, snap.Eps, snap.D, out)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Gram) != snap.D*snap.D {
+		return nil, fmt.Errorf("node: snapshot Gram has %d values for d=%d", len(snap.Gram), snap.D)
+	}
+	s.fhat = snap.Fhat
+	s.gram = matrix.SymFromData(snap.D, snap.Gram)
+	s.fdelta = snap.Fdelta
+	s.lamBound = snap.LamBound
+	s.sent = snap.SentN
+	return s, nil
+}
+
+// MatCoordinatorSnapshot is the serializable state of a MatCoordinator.
+type MatCoordinatorSnapshot struct {
+	M        int
+	D        int
+	Eps      float64
+	Fhat     float64
+	NMsg     int
+	Gram     []float64
+	Received int64
+	Bcasts   int64
+}
+
+// Snapshot captures the coordinator's state.
+func (c *MatCoordinator) Snapshot() MatCoordinatorSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MatCoordinatorSnapshot{
+		M: c.m, D: c.d, Eps: c.eps, Fhat: c.fhat, NMsg: c.nmsg,
+		Gram: c.gram.RawData(), Received: c.received, Bcasts: c.bcasts,
+	}
+}
+
+// RestoreMatCoordinator rebuilds a coordinator from a snapshot.
+func RestoreMatCoordinator(snap MatCoordinatorSnapshot, broadcast Sender) (*MatCoordinator, error) {
+	c, err := NewMatCoordinator(snap.M, snap.Eps, snap.D, broadcast)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Gram) != snap.D*snap.D {
+		return nil, fmt.Errorf("node: snapshot Gram has %d values for d=%d", len(snap.Gram), snap.D)
+	}
+	c.fhat = snap.Fhat
+	c.nmsg = snap.NMsg
+	c.gram = matrix.SymFromData(snap.D, snap.Gram)
+	c.received = snap.Received
+	c.bcasts = snap.Bcasts
+	return c, nil
+}
+
+// WriteSnapshot gob-encodes any of the snapshot types to w.
+func WriteSnapshot(w io.Writer, snap any) error {
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// ReadSnapshot gob-decodes into the given snapshot pointer.
+func ReadSnapshot(r io.Reader, snap any) error {
+	return gob.NewDecoder(r).Decode(snap)
+}

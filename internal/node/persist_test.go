@@ -1,0 +1,189 @@
+package node
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+// TestHHCheckpointResume snapshots a live heavy-hitters cluster midstream,
+// gob round-trips every node, resumes on restored nodes, and verifies the
+// final guarantee is indistinguishable from an uninterrupted run.
+func TestHHCheckpointResume(t *testing.T) {
+	const m, eps = 4, 0.05
+	cfg := gen.DefaultZipfConfig(30_000)
+	cfg.Beta = 20
+	items := gen.ZipfStream(cfg)
+	half := len(items) / 2
+
+	cl, err := NewLocalHHCluster(m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items[:half] {
+		if err := cl.Feed(i%m, it.Elem, it.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Checkpoint everything through gob.
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, cl.Coordinator.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cl.Sites {
+		if err := WriteSnapshot(&buf, s.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "Restart": rebuild a cluster from the snapshots.
+	var csnap HHCoordinatorSnapshot
+	if err := ReadSnapshot(&buf, &csnap); err != nil {
+		t.Fatal(err)
+	}
+	fo := &fanout{}
+	coord, err := RestoreHHCoordinator(csnap, fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &LocalHHCluster{Coordinator: coord}
+	for i := 0; i < m; i++ {
+		var ssnap HHSiteSnapshot
+		if err := ReadSnapshot(&buf, &ssnap); err != nil {
+			t.Fatal(err)
+		}
+		site, err := RestoreHHSite(ssnap, SenderFunc(coord.Handle))
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored.Sites = append(restored.Sites, site)
+		fo.sites = append(fo.sites, site)
+	}
+
+	// Resume with the second half.
+	for i, it := range items[half:] {
+		if err := restored.Feed((half+i)%m, it.Elem, it.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	exact := gen.ExactFrequencies(items)
+	w := gen.TotalWeight(items)
+	for e, fe := range exact {
+		if got := restored.Coordinator.Estimate(e); math.Abs(got-fe) > 2*eps*w {
+			t.Fatalf("element %d after resume: |%v − %v| > 2εW", e, got, fe)
+		}
+	}
+	if got := restored.Coordinator.EstimateTotal(); math.Abs(got-w) > 2*eps*w {
+		t.Fatalf("total after resume: %v vs %v", got, w)
+	}
+}
+
+// TestMatCheckpointResume does the same for the matrix cluster.
+func TestMatCheckpointResume(t *testing.T) {
+	const m, eps, d = 3, 0.2, 44
+	rows := gen.LowRankMatrix(gen.PAMAPLike(2400))
+	half := len(rows) / 2
+
+	cl, err := NewLocalMatCluster(m, eps, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows[:half] {
+		if err := cl.Feed(i%m, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, cl.Coordinator.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cl.Sites {
+		if err := WriteSnapshot(&buf, s.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var csnap MatCoordinatorSnapshot
+	if err := ReadSnapshot(&buf, &csnap); err != nil {
+		t.Fatal(err)
+	}
+	fo := &fanout{}
+	coord, err := RestoreMatCoordinator(csnap, fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &LocalMatCluster{Coordinator: coord}
+	for i := 0; i < m; i++ {
+		var ssnap MatSiteSnapshot
+		if err := ReadSnapshot(&buf, &ssnap); err != nil {
+			t.Fatal(err)
+		}
+		site, err := RestoreMatSite(ssnap, SenderFunc(coord.Handle))
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored.Sites = append(restored.Sites, site)
+		fo.sites = append(fo.sites, site)
+	}
+
+	for i, r := range rows[half:] {
+		if err := restored.Feed((half+i)%m, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	exact := matrix.NewSym(d)
+	for _, r := range rows {
+		exact.AddOuter(1, r)
+	}
+	e, err := metrics.CovarianceError(exact, restored.Coordinator.Gram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > eps {
+		t.Fatalf("error %v after checkpoint/resume exceeds ε=%v", e, eps)
+	}
+}
+
+func TestSnapshotPreservesCounters(t *testing.T) {
+	cl, _ := NewLocalHHCluster(2, 0.1)
+	for i := 0; i < 500; i++ {
+		cl.Feed(i%2, uint64(i%7), 1+float64(i%3))
+	}
+	snap := cl.Coordinator.Snapshot()
+	coord, err := RestoreHHCoordinator(snap, SenderFunc(func(Message) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord.Received() != cl.Coordinator.Received() || coord.Broadcasts() != cl.Coordinator.Broadcasts() {
+		t.Fatal("observability counters lost in snapshot")
+	}
+	sSnap := cl.Sites[0].Snapshot()
+	site, err := RestoreHHSite(sSnap, SenderFunc(func(Message) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site.Sent() != cl.Sites[0].Sent() || site.Estimate() != cl.Sites[0].Estimate() {
+		t.Fatal("site state lost in snapshot")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	drop := SenderFunc(func(Message) error { return nil })
+	if _, err := RestoreMatSite(MatSiteSnapshot{ID: 0, M: 2, D: 3, Eps: 0.1, Gram: []float64{1}}, drop); err == nil {
+		t.Fatal("expected Gram size error")
+	}
+	if _, err := RestoreMatCoordinator(MatCoordinatorSnapshot{M: 2, D: 3, Eps: 0.1, Gram: []float64{1}}, drop); err == nil {
+		t.Fatal("expected Gram size error")
+	}
+	if _, err := RestoreHHSite(HHSiteSnapshot{ID: 9, M: 2, Eps: 0.1}, drop); err == nil {
+		t.Fatal("expected id range error")
+	}
+}

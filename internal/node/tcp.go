@@ -1,0 +1,248 @@
+package node
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP transport: the coordinator runs a CoordinatorServer; each site runs a
+// SiteClient that dials in, registers with a KindHello message, streams its
+// reports, and receives estimate broadcasts on the same connection. Framing
+// is encoding/gob, one Message per frame.
+
+// CoordinatorServer accepts site connections and pumps their messages into
+// a CoordinatorHandler. Its Broadcast method (wired as the coordinator's
+// broadcast Sender) fans a message out to every connected site.
+type CoordinatorServer struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	conns   map[int]*connWriter // by site id
+	closed  bool
+	handler CoordinatorHandler
+
+	wg sync.WaitGroup
+}
+
+// connWriter serializes gob writes on one connection.
+type connWriter struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	c   net.Conn
+}
+
+func (w *connWriter) write(m Message) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(m)
+}
+
+// NewCoordinatorServer listens on addr (e.g. "127.0.0.1:0").
+// Wire the returned server's Broadcast as the coordinator's broadcast
+// Sender, then call SetHandler and Serve.
+func NewCoordinatorServer(addr string) (*CoordinatorServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: listen: %w", err)
+	}
+	return &CoordinatorServer{ln: ln, conns: make(map[int]*connWriter)}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *CoordinatorServer) Addr() string { return s.ln.Addr().String() }
+
+// SetHandler installs the coordinator logic; must be called before Serve.
+func (s *CoordinatorServer) SetHandler(h CoordinatorHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handler = h
+}
+
+// Send implements Sender: broadcast to every connected site.
+func (s *CoordinatorServer) Send(m Message) error {
+	s.mu.Lock()
+	writers := make([]*connWriter, 0, len(s.conns))
+	for _, w := range s.conns {
+		writers = append(writers, w)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, w := range writers {
+		if err := w.write(m); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Serve accepts connections until Close; it returns nil after a clean
+// shutdown. Call it on its own goroutine.
+func (s *CoordinatorServer) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("node: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *CoordinatorServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	dec := gob.NewDecoder(conn)
+	writer := &connWriter{enc: gob.NewEncoder(conn), c: conn}
+
+	// First frame must be the site registration.
+	var hello Message
+	if err := dec.Decode(&hello); err != nil || hello.Kind != KindHello {
+		conn.Close()
+		return
+	}
+	site := hello.Site
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[site] = writer
+	h := s.handler
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		if s.conns[site] == writer {
+			delete(s.conns, site)
+		}
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return // EOF or connection teardown
+		}
+		if h == nil {
+			continue
+		}
+		if err := h.Handle(m); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all site connections and waits for the
+// per-connection goroutines to drain.
+func (s *CoordinatorServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*connWriter, 0, len(s.conns))
+	for _, w := range s.conns {
+		conns = append(conns, w)
+	}
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	for _, w := range conns {
+		w.c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// SiteClient connects a site state machine to a remote coordinator.
+type SiteClient struct {
+	conn   net.Conn
+	writer *connWriter
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+	rerr   error
+}
+
+// DialSite connects to the coordinator at addr, registers site id, and
+// starts the broadcast receive loop delivering into recv. The returned
+// client's Send is the Sender to hand the site state machine.
+func DialSite(addr string, id int, recv BroadcastReceiver) (*SiteClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: dial %s: %w", addr, err)
+	}
+	c := &SiteClient{
+		conn:   conn,
+		writer: &connWriter{enc: gob.NewEncoder(conn), c: conn},
+		done:   make(chan struct{}),
+	}
+	if err := c.writer.write(Message{Kind: KindHello, Site: id}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("node: register site %d: %w", id, err)
+	}
+	go c.readLoop(recv)
+	return c, nil
+}
+
+func (c *SiteClient) readLoop(recv BroadcastReceiver) {
+	defer close(c.done)
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			c.mu.Lock()
+			if !c.closed && !errors.Is(err, io.EOF) {
+				c.rerr = err
+			}
+			c.mu.Unlock()
+			return
+		}
+		if recv != nil {
+			if err := recv.HandleBroadcast(m); err != nil {
+				c.mu.Lock()
+				c.rerr = err
+				c.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// Send implements Sender: site → coordinator.
+func (c *SiteClient) Send(m Message) error { return c.writer.write(m) }
+
+// Close tears the connection down and waits for the receive loop.
+func (c *SiteClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// Err returns the receive loop's terminal error, if any (nil after a clean
+// Close or remote EOF).
+func (c *SiteClient) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rerr
+}

@@ -1,0 +1,107 @@
+package node
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+// TestTCPMatrixDeployment deploys matrix P2 over loopback TCP: coordinator
+// server, m dialing sites, concurrent feeders, then verifies the covariance
+// guarantee end to end (the cmd/distdemo path, as a test).
+func TestTCPMatrixDeployment(t *testing.T) {
+	const m, eps, d = 4, 0.2, 44
+	srv, err := NewCoordinatorServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	coord, err := NewMatCoordinator(m, eps, d, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetHandler(coord)
+	go func() {
+		if err := srv.Serve(); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	rows := gen.LowRankMatrix(gen.PAMAPLike(2000))
+	perSite := make([][][]float64, m)
+	for i, r := range rows {
+		perSite[i%m] = append(perSite[i%m], r)
+	}
+
+	sites := make([]*MatSite, m)
+	clients := make([]*SiteClient, m)
+	for i := 0; i < m; i++ {
+		var cli *SiteClient
+		site, err := NewMatSite(i, m, eps, d, SenderFunc(func(msg Message) error {
+			return cli.Send(msg)
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err = DialSite(srv.Addr(), i, site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[i] = site
+		clients[i] = cli
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < m; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, r := range perSite[s] {
+				if err := sites[s].HandleRow(r); err != nil {
+					t.Errorf("feed: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Drain in-flight frames: the coordinator's row count stabilizes.
+	deadline := time.Now().Add(5 * time.Second)
+	var last int64 = -1
+	for time.Now().Before(deadline) {
+		cur := coord.Received()
+		if cur == last {
+			break
+		}
+		last = cur
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	exact := matrix.NewSym(d)
+	for _, r := range rows {
+		exact.AddOuter(1, r)
+	}
+	e, err := metrics.CovarianceError(exact, coord.Gram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1.5*eps {
+		t.Fatalf("covariance error %v over TCP exceeds 1.5ε", e)
+	}
+	if coord.Received() == 0 || coord.Received() >= int64(len(rows)) {
+		t.Fatalf("coordinator received %d messages for %d rows", coord.Received(), len(rows))
+	}
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Err(); err != nil {
+			t.Fatalf("client loop: %v", err)
+		}
+	}
+}

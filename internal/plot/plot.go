@@ -1,0 +1,162 @@
+// Package plot renders terminal (ASCII) line/scatter charts with optional
+// logarithmic axes, so cmd/experiments can draw the paper's figures — which
+// are log-log plots — and not just print their underlying tables.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labelled sequence of (x, y) points.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	Marker rune // distinct glyph per series; 0 picks automatically
+}
+
+// Chart is a 2-D chart specification.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	Series []Series
+}
+
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart to w. Non-positive values are dropped on log axes.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	type pt struct {
+		x, y   float64
+		marker rune
+	}
+	var pts []pt
+	for i, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x and %d y values", s.Label, len(s.X), len(s.Y))
+		}
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[i%len(defaultMarkers)]
+		}
+		for j := range s.X {
+			x, y := s.X[j], s.Y[j]
+			if c.LogX && x <= 0 || c.LogY && y <= 0 {
+				continue
+			}
+			pts = append(pts, pt{x, y, marker})
+		}
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("plot: no drawable points")
+	}
+
+	tx := func(v float64) float64 {
+		if c.LogX {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if c.LogY {
+			return math.Log10(v)
+		}
+		return v
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, tx(p.x))
+		maxX = math.Max(maxX, tx(p.x))
+		minY = math.Min(minY, ty(p.y))
+		maxY = math.Max(maxY, ty(p.y))
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	for _, p := range pts {
+		col := int(math.Round((tx(p.x) - minX) / (maxX - minX) * float64(width-1)))
+		row := int(math.Round((ty(p.y) - minY) / (maxY - minY) * float64(height-1)))
+		grid[height-1-row][col] = p.marker
+	}
+
+	// Header.
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	yTop, yBot := c.axisValue(maxY, c.LogY), c.axisValue(minY, c.LogY)
+	labelWidth := len(yTop)
+	if len(yBot) > labelWidth {
+		labelWidth = len(yBot)
+	}
+
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelWidth)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labelWidth, yTop)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", labelWidth, yBot)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	xLeft, xRight := c.axisValue(minX, c.LogX), c.axisValue(maxX, c.LogX)
+	gap := width - len(xLeft) - len(xRight)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", labelWidth), xLeft, strings.Repeat(" ", gap), xRight)
+
+	// Axis labels and legend.
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelWidth), c.XLabel, c.YLabel)
+	}
+	legend := make([]string, 0, len(c.Series))
+	for i, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[i%len(defaultMarkers)]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, s.Label))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(w, "%s  legend: %s\n", strings.Repeat(" ", labelWidth), strings.Join(legend, "   "))
+	return nil
+}
+
+// axisValue formats an axis endpoint, undoing the log transform.
+func (c *Chart) axisValue(v float64, logScale bool) string {
+	if logScale {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}

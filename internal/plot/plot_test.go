@@ -1,0 +1,104 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c Chart) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRenderBasic(t *testing.T) {
+	out := render(t, Chart{
+		Title:  "demo",
+		XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "s1", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}}},
+	})
+	for _, want := range []string{"demo", "legend: * s1", "x: x   y: y", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points plotted")
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	out := render(t, Chart{
+		LogX: true, LogY: true,
+		Series: []Series{{Label: "log", X: []float64{1e-3, 1e-1, 10}, Y: []float64{1e2, 1e4, 1e6}}},
+	})
+	// Axis endpoints show the untransformed values.
+	if !strings.Contains(out, "0.001") || !strings.Contains(out, "1e+06") {
+		t.Fatalf("log endpoints missing:\n%s", out)
+	}
+}
+
+func TestRenderDropsNonPositiveOnLog(t *testing.T) {
+	out := render(t, Chart{
+		LogY:   true,
+		Series: []Series{{Label: "s", X: []float64{1, 2, 3}, Y: []float64{0, -1, 10}}},
+	})
+	// Only the (3, 10) point survives; count markers in the plot area
+	// (lines containing the axis bar), excluding the legend.
+	points := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " |") {
+			points += strings.Count(line, "*")
+		}
+	}
+	if points != 1 {
+		t.Fatalf("expected exactly 1 surviving point, got %d:\n%s", points, out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	c := Chart{Series: []Series{{Label: "bad", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := c.Render(&buf); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	c = Chart{LogY: true, Series: []Series{{Label: "empty", X: []float64{1}, Y: []float64{-5}}}}
+	if err := c.Render(&buf); err == nil {
+		t.Fatal("expected no-points error")
+	}
+}
+
+func TestRenderMultiSeriesMarkers(t *testing.T) {
+	out := render(t, Chart{
+		Series: []Series{
+			{Label: "a", X: []float64{1}, Y: []float64{1}},
+			{Label: "b", X: []float64{2}, Y: []float64{2}},
+		},
+	})
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("automatic markers wrong:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out := render(t, Chart{
+		Series: []Series{{Label: "flat", X: []float64{5, 5}, Y: []float64{3, 3}}},
+	})
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestCustomMarker(t *testing.T) {
+	out := render(t, Chart{
+		Series: []Series{{Label: "custom", Marker: 'Q', X: []float64{1}, Y: []float64{1}}},
+	})
+	if !strings.Contains(out, "Q custom") {
+		t.Fatal("custom marker ignored")
+	}
+}

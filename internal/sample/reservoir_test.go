@@ -1,0 +1,116 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReservoirUnderfilled(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	r := NewReservoir(10)
+	r.Offer(1, 2, nil, rng)
+	r.Offer(2, 3, nil, rng)
+	if r.Seen() != 2 || r.Total() != 5 {
+		t.Fatalf("Seen=%d Total=%v", r.Seen(), r.Total())
+	}
+	s := r.Sample()
+	if len(s) != 2 {
+		t.Fatalf("underfilled sample size %d want 2", len(s))
+	}
+	if r.EstimateTotal() != 5 {
+		t.Fatalf("EstimateTotal = %v want exact 5", r.EstimateTotal())
+	}
+	if r.Threshold() != 0 {
+		t.Fatal("Threshold should be 0 while underfilled")
+	}
+}
+
+func TestReservoirCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	r := NewReservoir(16)
+	for i := 0; i < 1000; i++ {
+		r.Offer(uint64(i), 1+rng.Float64(), nil, rng)
+	}
+	s := r.Sample()
+	if len(s) != 15 { // k−1 after dropping the min-priority witness
+		t.Fatalf("sample size %d want 15", len(s))
+	}
+}
+
+// Property: the heap retains exactly the k largest priorities.
+func TestReservoirKeepsTopPriorities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 4 + rng.Intn(12)
+		r := NewReservoir(k)
+		for i := 0; i < 300; i++ {
+			r.Offer(uint64(i), 1+rng.Float64()*9, nil, rng)
+		}
+		// The discarded priorities are unobservable, so verify the
+		// structural invariants: exact capacity and the min-heap property
+		// (which is what guarantees the retained set is the top-k).
+		if len(r.items) != k {
+			return false
+		}
+		for i := range r.items {
+			l, rt := 2*i+1, 2*i+2
+			if l < k && r.items[l].Priority < r.items[i].Priority {
+				return false
+			}
+			if rt < k && r.items[rt].Priority < r.items[i].Priority {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservoirEstimateUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const trials = 40
+	var bias float64
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(200)
+		var w float64
+		for i := 0; i < 4000; i++ {
+			wi := 1 + rng.Float64()*9
+			w += wi
+			r.Offer(uint64(i), wi, nil, rng)
+		}
+		bias += (r.EstimateTotal() - w) / w
+	}
+	bias /= trials
+	if math.Abs(bias) > 0.03 {
+		t.Fatalf("average relative bias %v", bias)
+	}
+}
+
+func TestReservoirValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReservoir(0)
+}
+
+func TestReservoirPayloadCarried(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r := NewReservoir(2)
+	r.Offer(7, 5, []float64{1, 2}, rng)
+	s := r.Sample()
+	found := false
+	for _, e := range s {
+		if e.Key == 7 && len(e.Payload) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("payload lost")
+	}
+}

@@ -1,0 +1,95 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMGUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := randStream(rng, 100_000, 5000, 100)
+	m := NewMG(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s[i%len(s)]
+		m.Update(it.Elem, it.Weight)
+	}
+}
+
+func BenchmarkSpaceSavingUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := randStream(rng, 100_000, 5000, 100)
+	ss := NewSpaceSaving(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s[i%len(s)]
+		ss.Update(it.Elem, it.Weight)
+	}
+}
+
+func BenchmarkCountMinUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	s := randStream(rng, 100_000, 5000, 100)
+	cm := NewCountMin(2048, 4, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s[i%len(s)]
+		cm.Update(it.Elem, it.Weight)
+	}
+}
+
+// BenchmarkFDAppend measures the amortized per-row cost of the batched FD
+// sketch in its shrinking regime (ℓ < d).
+func BenchmarkFDAppend(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	const d = 44
+	rows := make([][]float64, 4096)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	fd := NewFD(20, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fd.Append(rows[i%len(rows)])
+	}
+}
+
+// BenchmarkFDAppendExact measures the per-row cost in exact mode (ℓ ≥ d):
+// a pure rank-1 Gram update.
+func BenchmarkFDAppendExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const d = 44
+	row := make([]float64, d)
+	for j := range row {
+		row[j] = rng.NormFloat64()
+	}
+	fd := NewFD(d, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fd.Append(row)
+	}
+}
+
+func BenchmarkFDMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	const d = 44
+	mk := func() *FD {
+		f := NewFD(20, d)
+		for i := 0; i < 200; i++ {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			f.Append(row)
+		}
+		return f
+	}
+	a, c := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Merge(c)
+	}
+}

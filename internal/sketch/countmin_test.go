@@ -1,0 +1,126 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cm := NewCountMin(64, 4, uint64(seed))
+		s := randStream(rng, 500, 100, 10)
+		for _, it := range s {
+			cm.Update(it.Elem, it.Weight)
+		}
+		exact, _ := s.exact()
+		for e, fe := range exact {
+			if cm.Estimate(e) < fe-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMinEpsBound(t *testing.T) {
+	// With width e/ε, average overcount must be ≤ εW with good probability;
+	// check a fixed seed deterministic run.
+	rng := rand.New(rand.NewSource(5))
+	eps := 0.02
+	cm := NewCountMinEps(eps, 0.01, 42)
+	s := randStream(rng, 5000, 1000, 5)
+	for _, it := range s {
+		cm.Update(it.Elem, it.Weight)
+	}
+	exact, w := s.exact()
+	violations := 0
+	for e, fe := range exact {
+		if cm.Estimate(e) > fe+eps*w {
+			violations++
+		}
+	}
+	if violations > len(exact)/100 {
+		t.Fatalf("%d/%d estimates exceed εW overcount", violations, len(exact))
+	}
+}
+
+func TestCountMinMerge(t *testing.T) {
+	a := NewCountMin(32, 3, 7)
+	b := NewCountMin(32, 3, 7)
+	a.Update(1, 5)
+	b.Update(1, 3)
+	b.Update(2, 2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Estimate(1); got < 8 {
+		t.Fatalf("merged Estimate(1) = %v want ≥ 8", got)
+	}
+	if a.Weight() != 10 {
+		t.Fatalf("merged Weight = %v want 10", a.Weight())
+	}
+}
+
+func TestCountMinMergeMismatch(t *testing.T) {
+	a := NewCountMin(32, 3, 7)
+	b := NewCountMin(64, 3, 7)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("expected error merging mismatched widths")
+	}
+	c := NewCountMin(32, 3, 8)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("expected error merging mismatched seeds")
+	}
+}
+
+func TestCountMinDeterministicSeed(t *testing.T) {
+	a := NewCountMin(32, 3, 9)
+	b := NewCountMin(32, 3, 9)
+	a.Update(123, 4)
+	b.Update(123, 4)
+	if a.Estimate(123) != b.Estimate(123) {
+		t.Fatal("same seed must give identical sketches")
+	}
+}
+
+func TestCountMinResetAndDims(t *testing.T) {
+	cm := NewCountMin(16, 2, 1)
+	if cm.Width() != 16 || cm.Depth() != 2 {
+		t.Fatal("dims wrong")
+	}
+	cm.Update(5, 2)
+	cm.Reset()
+	if cm.Estimate(5) != 0 || cm.Weight() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestCountMinValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCountMin(0, 1, 0) },
+		func() { NewCountMinEps(0, 0.5, 0) },
+		func() { NewCountMinEps(0.5, 1.5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on invalid params")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCountMinZeroWeightNoop(t *testing.T) {
+	cm := NewCountMin(8, 2, 3)
+	cm.Update(1, 0)
+	if cm.Weight() != 0 {
+		t.Fatal("zero weight should be no-op")
+	}
+}

@@ -1,0 +1,314 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// FD is Liberty's Frequent Directions sketch (SIGKDD 2013), the matrix
+// analogue of Misra–Gries: it maintains a sketch B with at most ℓ rows of a
+// row-stream matrix A such that, for every unit vector x,
+//
+//	0 ≤ ‖Ax‖² − ‖Bx‖² ≤ Deducted() ≤ ‖A‖²_F / (ℓ+1)
+//
+// (the Ghashami–Phillips shrink rule used here subtracts the (ℓ+1)-th
+// largest squared singular value whenever the rank exceeds ℓ, which gives
+// the 1/(ℓ+1) bound; Liberty's original analysis gives 2/ℓ).
+//
+// The sketch is stored in its exact factored form: the eigenpairs (vals,
+// vecs) of BᵀB, so B = diag(√vals)·vecsᵀ. Incoming rows are buffered and
+// folded in with one O(d³) eigendecomposition per ℓ rows, the batched
+// variant the FD paper (and Section 5.2 of the tracking paper) describes.
+//
+// When ℓ ≥ d the sketch can never overflow (rank(B) ≤ d ≤ ℓ), so it runs in
+// an exact mode that accumulates the Gram matrix directly with zero error
+// and no factorizations; this is the regime protocol P1 enters at small ε.
+//
+// FD sketches are mergeable: Merge(other) never increases the summed error
+// bound (Agarwal et al., PODS 2012).
+type FD struct {
+	ell int // sketch size: max rows of the materialized B
+	d   int // row dimension
+
+	// Exact mode (ℓ ≥ d): the Gram matrix alone carries the sketch.
+	exact bool
+	gram  *matrix.Sym
+
+	// Sketch mode (ℓ < d): eigenpairs of BᵀB plus a row buffer.
+	vals []float64     // squared singular values of B, descending
+	vecs *matrix.Dense // d × len(vals) right singular vectors
+	buf  *matrix.Dense // raw buffered rows not yet folded in
+
+	bufCap   int
+	appended int     // rows appended since Reset (bounds rank)
+	total    float64 // ‖A‖²_F of everything processed
+	deducted float64 // cumulative shrink deduction: the error witness
+}
+
+// NewFD returns a Frequent Directions sketch with ℓ rows for d-dimensional
+// inputs. ℓ ≥ 1; ℓ ≥ d makes the sketch exact (zero covariance error).
+func NewFD(ell, d int) *FD {
+	if ell < 1 || d < 1 {
+		panic(fmt.Sprintf("sketch: FD needs ℓ,d ≥ 1, got %d,%d", ell, d))
+	}
+	f := &FD{ell: ell, d: d}
+	if ell >= d {
+		f.exact = true
+		f.gram = matrix.NewSym(d)
+		return f
+	}
+	f.bufCap = ell
+	if f.bufCap < 8 {
+		f.bufCap = 8
+	}
+	f.vecs = matrix.NewDense(d, 0)
+	f.buf = matrix.NewDense(0, d)
+	return f
+}
+
+// Ell returns the sketch size ℓ.
+func (f *FD) Ell() int { return f.ell }
+
+// Dim returns the row dimension d.
+func (f *FD) Dim() int { return f.d }
+
+// Exact reports whether the sketch is running in the zero-error ℓ ≥ d mode.
+func (f *FD) Exact() bool { return f.exact }
+
+// Append processes one row of the stream.
+func (f *FD) Append(row []float64) {
+	if len(row) != f.d {
+		panic(fmt.Sprintf("sketch: FD append row of length %d, want %d", len(row), f.d))
+	}
+	f.total += matrix.NormSq(row)
+	f.appended++
+	if f.exact {
+		f.gram.AddOuter(1, row)
+		return
+	}
+	f.buf.AppendRow(row)
+	if f.buf.Rows() >= f.bufCap {
+		f.compress()
+	}
+}
+
+// compress folds the buffer into the factored sketch and shrinks back to at
+// most ℓ retained directions if the combined rank exceeds ℓ.
+func (f *FD) compress() {
+	if f.exact || f.buf.Rows() == 0 {
+		return
+	}
+	g := f.gramFull()
+	f.buf.Reset()
+	f.factorAndShrink(g)
+}
+
+// gramFull returns a freshly allocated Gram matrix of the sketch plus any
+// buffered rows.
+func (f *FD) gramFull() *matrix.Sym {
+	if f.exact {
+		return f.gram.Clone()
+	}
+	g := matrix.Reconstruct(f.vecs, f.vals)
+	for i := 0; i < f.buf.Rows(); i++ {
+		g.AddOuter(1, f.buf.Row(i))
+	}
+	return g
+}
+
+// Flush folds any buffered rows into the factored form immediately.
+func (f *FD) Flush() { f.compress() }
+
+// Gram returns BᵀB for the current sketch (including buffered rows).
+func (f *FD) Gram() *matrix.Sym { return f.gramFull() }
+
+// Quad returns ‖Bx‖² for the current sketch (including buffered rows).
+func (f *FD) Quad(x []float64) float64 {
+	if f.exact {
+		return f.gram.Quad(x)
+	}
+	var q float64
+	for k, lam := range f.vals {
+		dot := matrix.Dot(f.vecs.Col(k), x)
+		q += lam * dot * dot
+	}
+	for i := 0; i < f.buf.Rows(); i++ {
+		dot := matrix.Dot(f.buf.Row(i), x)
+		q += dot * dot
+	}
+	return q
+}
+
+// Rows materializes the sketch matrix B: at most ℓ (and at most d) rows,
+// the k-th being √vals_k · v_kᵀ. This costs one eigendecomposition in exact
+// mode; use RowBound when only the count is needed.
+func (f *FD) Rows() *matrix.Dense {
+	vals, vecs := f.factors()
+	b := matrix.NewDense(0, f.d)
+	row := make([]float64, f.d)
+	for k, lam := range vals {
+		if lam <= 0 {
+			break
+		}
+		s := math.Sqrt(lam)
+		for i := 0; i < f.d; i++ {
+			row[i] = s * vecs.At(i, k)
+		}
+		b.AppendRow(row)
+	}
+	return b
+}
+
+// RowBound returns an upper bound on the number of rows Rows() would
+// return — min(ℓ, d, rows appended since Reset) — without factorizing.
+// Protocol P1 uses it to account message sizes cheaply.
+func (f *FD) RowBound() int {
+	b := f.ell
+	if f.d < b {
+		b = f.d
+	}
+	if f.appended < b {
+		b = f.appended
+	}
+	return b
+}
+
+// factors returns the current eigenpairs, factorizing on demand in exact
+// mode and flushing the buffer in sketch mode.
+func (f *FD) factors() ([]float64, *matrix.Dense) {
+	if !f.exact {
+		f.compress()
+		return f.vals, f.vecs
+	}
+	vals, vecs := f.eig(f.gram)
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0
+		}
+	}
+	return vals, vecs
+}
+
+// TruncatedGram returns BₖᵀBₖ where Bₖ keeps only the top k directions of
+// the sketch. Used by the rank-k baselines in the evaluation.
+func (f *FD) TruncatedGram(k int) *matrix.Sym {
+	vals, vecs := f.factors()
+	if k > len(vals) {
+		k = len(vals)
+	}
+	return matrix.Reconstruct(vecs, vals[:k])
+}
+
+// Total returns ‖A‖²_F over everything processed.
+func (f *FD) Total() float64 { return f.total }
+
+// Deducted returns the cumulative shrink deduction; for any unit x it bounds
+// ‖Ax‖² − ‖Bx‖². Zero in exact mode.
+func (f *FD) Deducted() float64 { return f.deducted }
+
+// Size returns the number of retained directions after a flush (sketch
+// mode) or the rank bound (exact mode).
+func (f *FD) Size() int {
+	if f.exact {
+		return f.RowBound()
+	}
+	f.compress()
+	return len(f.vals)
+}
+
+// Merge folds other into f. Equivalent to appending other's materialized
+// rows; the error bounds add. other is not modified.
+func (f *FD) Merge(other *FD) {
+	if f.d != other.d {
+		panic(fmt.Sprintf("sketch: merge FD of dim %d with dim %d", other.d, f.d))
+	}
+	f.total += other.total
+	f.deducted += other.deducted
+	f.appended += other.appended
+	if f.exact {
+		// rank(combined) ≤ d ≤ ℓ: pure Gram addition, still zero error.
+		f.gram.AddSym(other.gramFull())
+		return
+	}
+	g := f.gramFull()
+	g.AddSym(other.gramFull())
+	f.buf.Reset()
+	f.factorAndShrink(g)
+}
+
+// factorAndShrink replaces the sketch with the factorization of g, applying
+// the FD shrink (subtract the (ℓ+1)-th largest eigenvalue) if the rank of g
+// exceeds ℓ, and accumulating the deduction into the error witness.
+func (f *FD) factorAndShrink(g *matrix.Sym) {
+	vals, V := f.eig(g)
+	// Clamp tiny negative eigenvalues produced by roundoff.
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0
+		}
+	}
+	rank := 0
+	for _, v := range vals {
+		if v > 0 {
+			rank++
+		}
+	}
+	if rank > f.ell && f.ell < len(vals) {
+		// Subtract the (ℓ+1)-th largest eigenvalue: the top ℓ directions
+		// each lose exactly δ and everything beyond them vanishes, so the
+		// result fits in ℓ rows and each shrink removes ≥ (ℓ+1)·δ of trace.
+		delta := vals[f.ell]
+		f.deducted += delta
+		for i := range vals {
+			vals[i] -= delta
+			if vals[i] < 0 {
+				vals[i] = 0
+			}
+		}
+	}
+	keep := 0
+	for _, v := range vals {
+		if v > 0 {
+			keep++
+		} else {
+			break // sorted descending, rest are ≤ 0
+		}
+	}
+	f.vals = vals[:keep]
+	kept := matrix.NewDense(f.d, keep)
+	for j := 0; j < keep; j++ {
+		for i := 0; i < f.d; i++ {
+			kept.Set(i, j, V.At(i, j))
+		}
+	}
+	f.vecs = kept
+}
+
+// eig decomposes g, falling back to the unconditionally convergent Jacobi
+// reference if the fast path fails (possible only on NaN/Inf input).
+func (f *FD) eig(g *matrix.Sym) ([]float64, *matrix.Dense) {
+	vals, V, err := matrix.EigSym(g)
+	if err != nil {
+		vals, V, err = matrix.JacobiEigSym(g)
+		if err != nil {
+			panic(fmt.Sprintf("sketch: FD factorization: %v", err))
+		}
+	}
+	return vals, V
+}
+
+// Reset clears the sketch.
+func (f *FD) Reset() {
+	if f.exact {
+		f.gram.Reset()
+	} else {
+		f.vals = nil
+		f.vecs = matrix.NewDense(f.d, 0)
+		f.buf.Reset()
+	}
+	f.appended = 0
+	f.total = 0
+	f.deducted = 0
+}

@@ -1,0 +1,157 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpaceSaving is a weighted SpaceSaving summary (Metwally et al., TODS 2006)
+// with k counters. Estimates overcount:
+//
+//	f_e ≤ Estimate(e) ≤ f_e + MaxError()
+//
+// where MaxError is at most W/k. The paper suggests SpaceSaving as the
+// bounded-space summary for the sites in protocols P2 and P4.
+type SpaceSaving struct {
+	k      int
+	counts map[uint64]float64
+	errs   map[uint64]float64 // per-element overcount bound
+	weight float64
+}
+
+// NewSpaceSaving returns a weighted SpaceSaving summary with k ≥ 1 counters.
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		panic(fmt.Sprintf("sketch: SpaceSaving needs k ≥ 1, got %d", k))
+	}
+	return &SpaceSaving{
+		k:      k,
+		counts: make(map[uint64]float64, k+1),
+		errs:   make(map[uint64]float64, k+1),
+	}
+}
+
+// K returns the counter capacity.
+func (s *SpaceSaving) K() int { return s.k }
+
+// Update processes one weighted element.
+func (s *SpaceSaving) Update(e uint64, w float64) {
+	if w < 0 {
+		panic(fmt.Sprintf("sketch: negative weight %v", w))
+	}
+	if w == 0 {
+		return
+	}
+	s.weight += w
+	if _, ok := s.counts[e]; ok {
+		s.counts[e] += w
+		return
+	}
+	if len(s.counts) < s.k {
+		s.counts[e] = w
+		s.errs[e] = 0
+		return
+	}
+	// Evict the minimum counter: the newcomer inherits its count as error.
+	minE, minV := uint64(0), -1.0
+	for elem, v := range s.counts {
+		if minV < 0 || v < minV || (v == minV && elem < minE) {
+			minE, minV = elem, v
+		}
+	}
+	delete(s.counts, minE)
+	delete(s.errs, minE)
+	s.counts[e] = minV + w
+	s.errs[e] = minV
+}
+
+// Estimate returns the (over)estimate for element e; 0 if untracked.
+func (s *SpaceSaving) Estimate(e uint64) float64 { return s.counts[e] }
+
+// ErrorOf returns the overcount bound recorded for element e.
+func (s *SpaceSaving) ErrorOf(e uint64) float64 { return s.errs[e] }
+
+// GuaranteedWeight returns a lower bound on the true weight of e:
+// Estimate(e) − ErrorOf(e).
+func (s *SpaceSaving) GuaranteedWeight(e uint64) float64 {
+	return s.counts[e] - s.errs[e]
+}
+
+// Weight returns the total stream weight processed.
+func (s *SpaceSaving) Weight() float64 { return s.weight }
+
+// MaxError returns the largest per-element overcount bound, at most W/k.
+func (s *SpaceSaving) MaxError() float64 {
+	var m float64
+	for _, v := range s.errs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Size returns the number of live counters.
+func (s *SpaceSaving) Size() int { return len(s.counts) }
+
+// HeavyHitters returns elements with estimate ≥ threshold, sorted by
+// descending estimate.
+func (s *SpaceSaving) HeavyHitters(threshold float64) []WeightedElement {
+	var out []WeightedElement
+	for e, v := range s.counts {
+		if v >= threshold {
+			out = append(out, WeightedElement{Elem: e, Weight: v})
+		}
+	}
+	sortByWeightDesc(out)
+	return out
+}
+
+// Merge folds other into s, keeping the k largest combined counts. The
+// overcount bound of the result is at most the sum of the inputs' bounds
+// plus the (k+1)-th largest combined count (mergeable-summaries rule).
+func (s *SpaceSaving) Merge(other *SpaceSaving) {
+	type entry struct {
+		e    uint64
+		c, r float64
+	}
+	combined := make(map[uint64]*entry, len(s.counts)+len(other.counts))
+	for e, c := range s.counts {
+		combined[e] = &entry{e: e, c: c, r: s.errs[e]}
+	}
+	for e, c := range other.counts {
+		if en, ok := combined[e]; ok {
+			en.c += c
+			en.r += other.errs[e]
+		} else {
+			combined[e] = &entry{e: e, c: c, r: other.errs[e]}
+		}
+	}
+	all := make([]*entry, 0, len(combined))
+	for _, en := range combined {
+		all = append(all, en)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].e < all[j].e
+	})
+	s.counts = make(map[uint64]float64, s.k+1)
+	s.errs = make(map[uint64]float64, s.k+1)
+	for i, en := range all {
+		if i >= s.k {
+			break
+		}
+		s.counts[en.e] = en.c
+		s.errs[en.e] = en.r
+	}
+	s.weight += other.weight
+}
+
+// Reset clears the summary.
+func (s *SpaceSaving) Reset() {
+	s.counts = make(map[uint64]float64, s.k+1)
+	s.errs = make(map[uint64]float64, s.k+1)
+	s.weight = 0
+}

@@ -1,0 +1,137 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceSavingExactSmallUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := randStream(rng, 500, 6, 10)
+	ss := NewSpaceSaving(10)
+	for _, it := range s {
+		ss.Update(it.Elem, it.Weight)
+	}
+	exact, w := s.exact()
+	if !almostEq(ss.Weight(), w, 1e-9) {
+		t.Fatalf("Weight = %v want %v", ss.Weight(), w)
+	}
+	for e, fe := range exact {
+		if !almostEq(ss.Estimate(e), fe, 1e-9) {
+			t.Fatalf("Estimate(%d) = %v want %v", e, ss.Estimate(e), fe)
+		}
+		if ss.ErrorOf(e) != 0 {
+			t.Fatalf("ErrorOf(%d) = %v want 0", e, ss.ErrorOf(e))
+		}
+	}
+}
+
+// Property: f_e ≤ Estimate(e) ≤ f_e + MaxError, MaxError ≤ W/k, size ≤ k.
+func TestSpaceSavingOvercountBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(20)
+		s := randStream(rng, 200+rng.Intn(800), 5+rng.Intn(200), 1+rng.Float64()*30)
+		ss := NewSpaceSaving(k)
+		for _, it := range s {
+			ss.Update(it.Elem, it.Weight)
+		}
+		exact, w := s.exact()
+		if ss.Size() > k {
+			return false
+		}
+		// The classic bound min-counter ≤ W/k; per-entry errors are bounded
+		// by the min counter value at eviction time, itself ≤ W/k at the end.
+		if ss.MaxError() > w/float64(k)+1e-9 {
+			return false
+		}
+		for e, fe := range exact {
+			est := ss.Estimate(e)
+			if est == 0 {
+				continue // evicted
+			}
+			if est < fe-1e-9 {
+				return false // SpaceSaving never undercounts a tracked item
+			}
+			if est > fe+ss.ErrorOf(e)+1e-9 {
+				return false
+			}
+			if ss.GuaranteedWeight(e) > fe+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceSavingEviction(t *testing.T) {
+	ss := NewSpaceSaving(2)
+	ss.Update(1, 10)
+	ss.Update(2, 5)
+	ss.Update(3, 1) // evicts 2 (min=5): count = 6, err = 5
+	if ss.Size() != 2 {
+		t.Fatalf("size = %d want 2", ss.Size())
+	}
+	if got := ss.Estimate(3); got != 6 {
+		t.Fatalf("Estimate(3) = %v want 6", got)
+	}
+	if got := ss.ErrorOf(3); got != 5 {
+		t.Fatalf("ErrorOf(3) = %v want 5", got)
+	}
+	if got := ss.Estimate(2); got != 0 {
+		t.Fatalf("Estimate(2) = %v want 0 after eviction", got)
+	}
+}
+
+func TestSpaceSavingMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 3 + rng.Intn(12)
+		s1 := randStream(rng, 150, 5+rng.Intn(50), 10)
+		s2 := randStream(rng, 150, 5+rng.Intn(50), 10)
+		a, b := NewSpaceSaving(k), NewSpaceSaving(k)
+		for _, it := range s1 {
+			a.Update(it.Elem, it.Weight)
+		}
+		for _, it := range s2 {
+			b.Update(it.Elem, it.Weight)
+		}
+		a.Merge(b)
+		if a.Size() > k {
+			return false
+		}
+		_, w := append(append(weightedStream{}, s1...), s2...).exact()
+		return almostEq(a.Weight(), w, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceSavingHeavyHittersAndReset(t *testing.T) {
+	ss := NewSpaceSaving(5)
+	ss.Update(1, 100)
+	ss.Update(2, 50)
+	ss.Update(3, 1)
+	hh := ss.HeavyHitters(40)
+	if len(hh) != 2 || hh[0].Elem != 1 {
+		t.Fatalf("HeavyHitters = %v", hh)
+	}
+	ss.Reset()
+	if ss.Size() != 0 || ss.Weight() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestSpaceSavingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on k=0")
+		}
+	}()
+	NewSpaceSaving(0)
+}

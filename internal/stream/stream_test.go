@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccountantCounts(t *testing.T) {
+	a := NewAccountant(5)
+	a.SendUp(3)
+	a.SendUp(1)
+	a.Broadcast(2)
+	a.SendDown(1)
+	s := a.Stats()
+	if s.UpMsgs != 2 || s.UpUnits != 4 {
+		t.Fatalf("up: %+v", s)
+	}
+	if s.Broadcasts != 1 || s.DownMsgs != 5+1 || s.DownUnits != 10+1 {
+		t.Fatalf("down: %+v", s)
+	}
+	if s.Total() != 8 {
+		t.Fatalf("Total = %d want 8", s.Total())
+	}
+	if s.TotalUnits() != 15 {
+		t.Fatalf("TotalUnits = %d want 15", s.TotalUnits())
+	}
+}
+
+func TestAccountantSendUpN(t *testing.T) {
+	a := NewAccountant(2)
+	a.SendUpN(7, 3)
+	s := a.Stats()
+	if s.UpMsgs != 7 || s.UpUnits != 21 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestAccountantReset(t *testing.T) {
+	a := NewAccountant(2)
+	a.SendUp(1)
+	a.Reset()
+	if a.Stats() != (Stats{}) {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{UpMsgs: 1, DownMsgs: 2, Broadcasts: 1, UpUnits: 3, DownUnits: 4}
+	b := a
+	a.Add(b)
+	if a.UpMsgs != 2 || a.DownUnits != 8 {
+		t.Fatalf("%+v", a)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if (Stats{}).String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r := NewRoundRobin(3)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Fatalf("Next()[%d] = %d want %d", i, got, w)
+		}
+	}
+	if r.Sites() != 3 {
+		t.Fatal("Sites wrong")
+	}
+}
+
+// Property: UniformRandom stays in range and is deterministic per seed.
+func TestUniformRandomProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		u1 := NewUniformRandom(7, seed)
+		u2 := NewUniformRandom(7, seed)
+		for i := 0; i < 100; i++ {
+			a, b := u1.Next(), u2.Next()
+			if a != b || a < 0 || a >= 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRandomRoughlyBalanced(t *testing.T) {
+	u := NewUniformRandom(4, 99)
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[u.Next()]++
+	}
+	for s, c := range counts {
+		if c < n/4-n/20 || c > n/4+n/20 {
+			t.Fatalf("site %d got %d of %d", s, c, n)
+		}
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewAccountant(0) },
+		func() { NewRoundRobin(0) },
+		func() { NewUniformRandom(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -6,13 +6,20 @@
 //
 // Usage:
 //
-//	distdemo [-sites M] [-eps E] [-n N] [-addr HOST:PORT]
+//	distdemo [-protocol p2] [-sites M] [-eps E] [-n N] [-addr HOST:PORT]
+//
+// -protocol is validated against the matrix registry
+// (distmat.MatrixProtocols); the deployable TCP runtime currently
+// implements the headline protocol p2 only, so other registered names are
+// rejected with a pointer to the single-threaded simulators.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,12 +32,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("distdemo: ")
 	var (
-		m    = flag.Int("sites", 8, "number of sites")
-		eps  = flag.Float64("eps", 0.1, "error parameter ε")
-		n    = flag.Int("n", 20_000, "rows to stream")
-		addr = flag.String("addr", "127.0.0.1:0", "coordinator listen address")
+		protocol = flag.String("protocol", "p2", "matrix protocol name: "+strings.Join(distmat.MatrixProtocols(), ", ")+" (TCP runtime: p2 only)")
+		m        = flag.Int("sites", 8, "number of sites")
+		eps      = flag.Float64("eps", 0.1, "error parameter ε")
+		n        = flag.Int("n", 20_000, "rows to stream")
+		addr     = flag.String("addr", "127.0.0.1:0", "coordinator listen address")
 	)
 	flag.Parse()
+
+	// Validate the name against the registry, then check it is one the
+	// concurrent TCP runtime can deploy.
+	info, ok := distmat.LookupMatrixProtocol(*protocol)
+	if !ok {
+		log.Printf("unknown matrix protocol %q (registered: %v)", *protocol, distmat.MatrixProtocols())
+		os.Exit(2)
+	}
+	if info.Name != "p2" {
+		log.Printf("protocol %q is registered but has no concurrent TCP runtime yet; only p2 does (use cmd/mtrack to simulate it)", *protocol)
+		os.Exit(2)
+	}
 
 	cfg := distmat.PAMAPLike(*n)
 	rows := distmat.LowRankMatrix(cfg)

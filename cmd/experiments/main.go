@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only fig1,table1,fig2,...] [-hh-n N] [-mat-n N]
-//	            [-sites M] [-seed S] [-v]
+//	experiments [-quick] [-only fig1,table1,fig2,...] [-protocol p1,p2,...]
+//	            [-hh-n N] [-mat-n N] [-sites M] [-seed S] [-v]
+//
+// -protocol restricts every sweep to a comma-separated subset of the
+// registered protocol names (distmat.HHProtocols / distmat.MatrixProtocols);
+// the default is the paper's p1,p2,p3,p4.
 //
 // With no flags it runs the full default-scale suite (a few minutes).
 package main
@@ -16,25 +20,64 @@ import (
 	"os"
 	"strings"
 
+	distmat "repro"
 	"repro/internal/experiments"
 )
 
+// splitProtocols parses and registry-validates a -protocol flag value,
+// returning the subset valid for each problem.
+func splitProtocols(arg string) (hhNames, matNames []string, err error) {
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if name == "" {
+			continue
+		}
+		_, isHH := distmat.LookupHHProtocol(name)
+		_, isMat := distmat.LookupMatrixProtocol(name)
+		if !isHH && !isMat {
+			return nil, nil, fmt.Errorf("unknown protocol %q (heavy-hitters: %v; matrix: %v)",
+				name, distmat.HHProtocols(), distmat.MatrixProtocols())
+		}
+		if isHH {
+			hhNames = append(hhNames, name)
+		}
+		if isMat {
+			matNames = append(matNames, name)
+		}
+	}
+	return hhNames, matNames, nil
+}
+
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run at test scale (seconds instead of minutes)")
-		only    = flag.String("only", "", "comma-separated subset: fig1,table1,fig2,fig3,fig4,fig6,fig7")
-		hhN     = flag.Int("hh-n", 0, "override heavy-hitters stream length (paper: 10000000)")
-		matN    = flag.Int("mat-n", 0, "override matrix stream rows (paper: 629250/300000)")
-		sites   = flag.Int("sites", 0, "override default site count m (paper: 50)")
-		seed    = flag.Int64("seed", 0, "override random seed")
-		verbose = flag.Bool("v", false, "log per-run progress to stderr")
-		plots   = flag.Bool("plot", false, "also render sweep tables as ASCII log-log charts")
+		quick    = flag.Bool("quick", false, "run at test scale (seconds instead of minutes)")
+		only     = flag.String("only", "", "comma-separated subset: fig1,table1,fig2,fig3,fig4,fig6,fig7")
+		protocol = flag.String("protocol", "", "comma-separated registry protocol names to sweep (default: the paper's p1,p2,p3,p4)")
+		hhN      = flag.Int("hh-n", 0, "override heavy-hitters stream length (paper: 10000000)")
+		matN     = flag.Int("mat-n", 0, "override matrix stream rows (paper: 629250/300000)")
+		sites    = flag.Int("sites", 0, "override default site count m (paper: 50)")
+		seed     = flag.Int64("seed", 0, "override random seed")
+		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
+		plots    = flag.Bool("plot", false, "also render sweep tables as ASCII log-log charts")
 	)
 	flag.Parse()
 
 	cfg := experiments.Default()
 	if *quick {
 		cfg = experiments.Quick()
+	}
+	if *protocol != "" {
+		hhNames, matNames, err := splitProtocols(*protocol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		if len(hhNames) > 0 {
+			cfg.HHProtos = hhNames
+		}
+		if len(matNames) > 0 {
+			cfg.MatProtos = matNames
+		}
 	}
 	if *hhN > 0 {
 		cfg.HHItems = *hhN

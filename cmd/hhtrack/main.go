@@ -4,15 +4,20 @@
 //
 // Usage:
 //
-//	hhtrack [-proto P1|P2|P3|P4] [-n N] [-sites M] [-eps E] [-phi PHI]
-//	        [-beta B] [-skew S] [-seed SEED]
+//	hhtrack [-protocol NAME] [-n N] [-sites M] [-eps E] [-phi PHI]
+//	        [-beta B] [-skew S] [-copies C] [-seed SEED]
+//
+// NAME is any protocol in the registry (see distmat.HHProtocols):
+// p1, p2, p3, p4, p4median, exact.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	distmat "repro"
 )
@@ -20,16 +25,19 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hhtrack: ")
+	protoHelp := "protocol name: " + strings.Join(distmat.HHProtocols(), ", ")
 	var (
-		proto = flag.String("proto", "P2", "protocol: P1, P2, P3 or P4")
-		n     = flag.Int("n", 1_000_000, "stream length")
-		m     = flag.Int("sites", 50, "number of sites")
-		eps   = flag.Float64("eps", 0.01, "error parameter ε")
-		phi   = flag.Float64("phi", 0.05, "heavy-hitter threshold φ")
-		beta  = flag.Float64("beta", 1000, "weight upper bound β")
-		skew  = flag.Float64("skew", 2.0, "Zipf skew")
-		seed  = flag.Int64("seed", 1, "random seed")
+		protocol = flag.String("protocol", "p2", protoHelp)
+		n        = flag.Int("n", 1_000_000, "stream length")
+		m        = flag.Int("sites", 50, "number of sites")
+		eps      = flag.Float64("eps", 0.01, "error parameter ε")
+		phi      = flag.Float64("phi", 0.05, "heavy-hitter threshold φ")
+		beta     = flag.Float64("beta", 1000, "weight upper bound β")
+		skew     = flag.Float64("skew", 2.0, "Zipf skew")
+		copies   = flag.Int("copies", 3, "independent instances for p4median")
+		seed     = flag.Int64("seed", 1, "random seed")
 	)
+	flag.StringVar(protocol, "proto", *protocol, protoHelp+" (alias of -protocol)")
 	flag.Parse()
 
 	cfg := distmat.DefaultZipfConfig(*n)
@@ -38,28 +46,34 @@ func main() {
 	cfg.Seed = *seed
 	items := distmat.ZipfStream(cfg)
 
-	var p distmat.HHProtocol
-	switch *proto {
-	case "P1":
-		p = distmat.NewHHP1(*m, *eps)
-	case "P2":
-		p = distmat.NewHHP2(*m, *eps)
-	case "P3":
-		p = distmat.NewHHP3(*m, *eps, *seed+1)
-	case "P4":
-		p = distmat.NewHHP4(*m, *eps, *seed+1)
-	default:
-		log.Printf("unknown protocol %q (want P1, P2, P3 or P4)", *proto)
-		os.Exit(2)
+	sess, err := distmat.NewHHSession(*protocol,
+		distmat.WithSites(*m),
+		distmat.WithEpsilon(*eps),
+		distmat.WithSeed(*seed+1),
+		distmat.WithCopies(*copies),
+		distmat.WithAssigner(distmat.NewUniformRandom(*m, *seed+2)))
+	if err != nil {
+		if errors.Is(err, distmat.ErrUnknownProtocol) {
+			log.Print(err)
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+	if err := sess.ProcessItems(items); err != nil {
+		log.Fatalf("ingest: %v", err)
 	}
 
 	exact := distmat.NewHHExact(*m)
 	distmat.RunHH(exact, items, distmat.NewUniformRandom(*m, *seed+2))
-	distmat.RunHH(p, items, distmat.NewUniformRandom(*m, *seed+2))
-
 	truth := exact.TrueHeavyHitters(*phi)
-	returned := distmat.HeavyHitters(p, *phi)
+
+	returned, err := sess.HeavyHitters(*phi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := sess.HH()
 	res := distmat.EvaluateHH(returned, truth, p.Estimate)
+	snap := sess.Snapshot()
 
 	fmt.Printf("protocol       %s (ε=%g, m=%d)\n", p.Name(), *eps, *m)
 	fmt.Printf("stream         N=%d Zipf(skew=%g) weights Unif[1,%g] W=%.6g\n",
@@ -69,8 +83,8 @@ func main() {
 	fmt.Printf("recall         %.4f\n", res.Recall)
 	fmt.Printf("precision      %.4f\n", res.Precision)
 	fmt.Printf("avg rel err    %.3g\n", res.AvgRelErr)
-	fmt.Printf("messages       %d (naive baseline: %d)\n", p.Stats().Total(), len(items))
-	fmt.Printf("detail         %s\n", p.Stats())
+	fmt.Printf("messages       %d (naive baseline: %d)\n", snap.Stats.Total(), len(items))
+	fmt.Printf("detail         %s\n", snap.Stats)
 
 	fmt.Println("\ntop heavy hitters (estimate vs exact):")
 	for i, e := range returned {

@@ -4,18 +4,23 @@
 //
 // Usage:
 //
-//	mtrack [-proto P1|P2|P3|P3wr|P4|FD|SVD] [-data lowrank|highrank|CSV-path]
+//	mtrack [-protocol NAME] [-data lowrank|highrank|CSV-path]
 //	       [-n N] [-sites M] [-eps E] [-k K] [-seed SEED]
+//
+// NAME is any protocol in the registry (see distmat.MatrixProtocols):
+// p1, p2, p2small, p3, p3wr, p4, fd, svd.
 //
 // With -data pointing at a CSV file the real PAMAP/MSD datasets can be used
 // when available; otherwise the documented synthetic substitutes run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	distmat "repro"
 	"repro/internal/gen"
@@ -24,15 +29,17 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mtrack: ")
+	protoHelp := "protocol name: " + strings.Join(distmat.MatrixProtocols(), ", ")
 	var (
-		proto = flag.String("proto", "P2", "protocol: P1, P2, P3, P3wr, P4, FD or SVD")
-		data  = flag.String("data", "lowrank", "dataset: lowrank, highrank, or a CSV file path")
-		n     = flag.Int("n", 50_000, "row count for synthetic data")
-		m     = flag.Int("sites", 50, "number of sites")
-		eps   = flag.Float64("eps", 0.1, "error parameter ε")
-		k     = flag.Int("k", 30, "rank for the FD/SVD baselines")
-		seed  = flag.Int64("seed", 1, "random seed")
+		protocol = flag.String("protocol", "p2", protoHelp)
+		data     = flag.String("data", "lowrank", "dataset: lowrank, highrank, or a CSV file path")
+		n        = flag.Int("n", 50_000, "row count for synthetic data")
+		m        = flag.Int("sites", 50, "number of sites")
+		eps      = flag.Float64("eps", 0.1, "error parameter ε")
+		k        = flag.Int("k", 30, "rank for the FD/SVD baselines")
+		seed     = flag.Int64("seed", 1, "random seed")
 	)
+	flag.StringVar(protocol, "proto", *protocol, protoHelp+" (alias of -protocol)")
 	flag.Parse()
 
 	var rows [][]float64
@@ -68,40 +75,38 @@ func main() {
 	}
 	d := len(rows[0])
 
-	var tr distmat.MatrixTracker
-	switch *proto {
-	case "P1":
-		tr = distmat.NewMatrixP1(*m, *eps, d)
-	case "P2":
-		tr = distmat.NewMatrixP2(*m, *eps, d)
-	case "P3":
-		tr = distmat.NewMatrixP3(*m, *eps, d, *seed+1)
-	case "P3wr":
-		tr = distmat.NewMatrixP3WR(*m, *eps, d, *seed+1)
-	case "P4":
-		tr = distmat.NewMatrixP4(*m, *eps, d, *seed+1)
-	case "FD":
-		tr = distmat.NewFDBaseline(*m, *k, d)
-	case "SVD":
-		tr = distmat.NewSVDBaseline(*m, d)
-	default:
-		log.Printf("unknown protocol %q", *proto)
-		os.Exit(2)
+	sess, err := distmat.NewMatrixSession(*protocol,
+		distmat.WithSites(*m),
+		distmat.WithEpsilon(*eps),
+		distmat.WithDim(d),
+		distmat.WithSeed(*seed+1),
+		distmat.WithRank(*k),
+		distmat.WithAssigner(distmat.NewUniformRandom(*m, *seed+2)),
+		distmat.WithExactTracking())
+	if err != nil {
+		if errors.Is(err, distmat.ErrUnknownProtocol) {
+			log.Print(err)
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+	if err := sess.ProcessRows(rows); err != nil {
+		log.Fatalf("ingest: %v", err)
 	}
 
-	exact := distmat.RunMatrix(tr, rows, distmat.NewUniformRandom(*m, *seed+2))
-	covErr, err := distmat.CovarianceError(exact, tr.Gram())
+	snap := sess.Snapshot()
+	covErr, err := distmat.CovarianceError(snap.Exact, snap.Gram)
 	if err != nil {
 		log.Fatalf("error metric: %v", err)
 	}
 
-	fmt.Printf("protocol    %s (ε=%g, m=%d)\n", tr.Name(), *eps, *m)
-	fmt.Printf("stream      N=%d rows, d=%d, ‖A‖²_F=%.6g\n", len(rows), d, exact.Trace())
+	fmt.Printf("protocol    %s (ε=%g, m=%d)\n", sess.Matrix().Name(), *eps, *m)
+	fmt.Printf("stream      N=%d rows, d=%d, ‖A‖²_F=%.6g\n", len(rows), d, snap.Exact.Trace())
 	fmt.Printf("cov err     %.6g   (‖AᵀA−BᵀB‖₂/‖A‖²_F; guarantee ε=%g)\n", covErr, *eps)
-	fmt.Printf("messages    %d (naive baseline: %d)\n", tr.Stats().Total(), len(rows))
-	fmt.Printf("detail      %s\n", tr.Stats())
+	fmt.Printf("messages    %d (naive baseline: %d)\n", snap.Stats.Total(), len(rows))
+	fmt.Printf("detail      %s\n", snap.Stats)
 
-	if optimal, err := distmat.RankKError(exact, *k); err == nil {
+	if optimal, err := distmat.RankKError(snap.Exact, *k); err == nil {
 		fmt.Printf("rank-%d opt %.6g   (offline SVD quality bar)\n", *k, optimal)
 	}
 }

@@ -21,214 +21,60 @@
 // P1–P3 plus the paper's negative-result P4) are provided, with the
 // centralized Frequent Directions sketch, weighted Misra–Gries /
 // SpaceSaving / Count-Min summaries, and priority sampling available as
-// standalone primitives.
+// standalone primitives. Every protocol is registered by name — see
+// MatrixProtocols and HHProtocols — and is built from a validated Config:
 //
-//	Protocol     Guarantee                  Communication
-//	HH P1        |f_e−Ŵ_e| ≤ εW             O((m/ε²)·log(βN))
-//	HH P2        |f_e−Ŵ_e| ≤ εW             O((m/ε)·log(βN))
-//	HH P3        |f_e−Ŵ_e| ≤ εW  (whp)      O((m+ε⁻²log(1/ε))·log(βN/s))
-//	HH P4        |f_e−Ŵ_e| ≤ εW  (p ≥ 3/4)  O((√m/ε)·log(βN))
-//	Matrix P1    0 ≤ ‖Ax‖²−‖Bx‖² ≤ ε‖A‖²_F  O((m/ε²)·log(βN)) rows
-//	Matrix P2    0 ≤ ‖Ax‖²−‖Bx‖² ≤ ε‖A‖²_F  O((m/ε)·log(βN)) rows
-//	Matrix P3    |‖Ax‖²−‖Bx‖²| ≤ ε‖A‖²_F    O((m+ε⁻²log(1/ε))·log(βN/s)) rows
-//	Matrix P4    none (negative result)      O((√m/ε)·log(βN)) rows
+//	Name         Guarantee                  Communication
+//	hh p1        |f_e−Ŵ_e| ≤ εW             O((m/ε²)·log(βN))
+//	hh p2        |f_e−Ŵ_e| ≤ εW             O((m/ε)·log(βN))
+//	hh p3        |f_e−Ŵ_e| ≤ εW  (whp)      O((m+ε⁻²log(1/ε))·log(βN/s))
+//	hh p4        |f_e−Ŵ_e| ≤ εW  (p ≥ 3/4)  O((√m/ε)·log(βN))
+//	matrix p1    0 ≤ ‖Ax‖²−‖Bx‖² ≤ ε‖A‖²_F  O((m/ε²)·log(βN)) rows
+//	matrix p2    0 ≤ ‖Ax‖²−‖Bx‖² ≤ ε‖A‖²_F  O((m/ε)·log(βN)) rows
+//	matrix p3    |‖Ax‖²−‖Bx‖²| ≤ ε‖A‖²_F    O((m+ε⁻²log(1/ε))·log(βN/s)) rows
+//	matrix p4    none (negative result)      O((√m/ε)·log(βN)) rows
 //
 // β bounds item weights (squared row norms); N is the stream length at
-// query time.
+// query time. The registry also carries the p2small bounded-site-space
+// variant, the p3wr with-replacement sampler, the hh p4median
+// amplification, and the fd/svd/exact baselines.
 //
 // # Quick start
 //
-//	m := 8                                     // sites
-//	tr := distmat.NewMatrixP2(m, 0.1, 44)      // ε = 0.1, d = 44
-//	asg := distmat.NewUniformRandom(m, 1)      // arrival pattern
-//	for _, row := range rows {
-//	    tr.ProcessRow(asg.Next(), row)         // any site, any order
-//	}
-//	g := tr.Gram()                             // BᵀB at the coordinator
-//	fmt.Println(tr.Stats())                    // messages used
+//	sess, err := distmat.NewMatrixSession("p2",
+//		distmat.WithSites(8),      // m distributed sites
+//		distmat.WithEpsilon(0.1),  // approximation error target
+//		distmat.WithDim(44),       // row dimension d
+//	)
+//	if err != nil { ... }
+//	if err := sess.ProcessRows(rows); err != nil { ... } // any site, any order
+//	snap := sess.Snapshot()
+//	fmt.Println(snap.Gram.Trace(), snap.Stats) // BᵀB estimate + messages used
 //
 // See examples/ for runnable programs and internal/experiments for the
 // harness regenerating the paper's evaluation.
+//
+// # API shape
+//
+// The surface is organized around three pillars:
+//
+//   - Config + functional options (config.go): one validated parameter
+//     object; invalid values surface as ErrInvalidConfig, never a panic.
+//   - A protocol registry (registry.go): name-keyed construction via
+//     NewMatrix/NewHH (options) or NewMatrixByName/NewHHByName (a Config
+//     value), so protocol choice is data, e.g. a CLI's -protocol flag.
+//   - Sessions (session.go): batch ingestion over tracker+assigner with
+//     immutable Snapshots.
+//
+// The original positional constructors (NewMatrixP2, NewHHP1, ...) remain
+// as deprecated panicking shims over the registry.
 package distmat
 
 import (
-	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/hh"
-	"repro/internal/matrix"
-	"repro/internal/metrics"
 	"repro/internal/node"
-	"repro/internal/quantile"
-	"repro/internal/sketch"
 	"repro/internal/stream"
 )
-
-// ---- distributed matrix tracking (the paper's primary contribution) ----
-
-// MatrixTracker is a distributed matrix tracking protocol; see the package
-// comment for the guarantee each implementation carries.
-type MatrixTracker = core.Tracker
-
-// Sym is a symmetric d×d matrix; trackers expose their approximation as the
-// Gram matrix BᵀB in this form.
-type Sym = matrix.Sym
-
-// Dense is a row-major dense matrix.
-type Dense = matrix.Dense
-
-// NewMatrixP1 builds the batched Frequent Directions tracker (Section 5.1)
-// for m sites, error ε, and d-dimensional rows.
-func NewMatrixP1(m int, eps float64, d int) MatrixTracker { return core.NewP1(m, eps, d) }
-
-// NewMatrixP2 builds the deterministic SVD-threshold tracker (Section 5.2),
-// the paper's best protocol: O((m/ε)·log(βN)) messages.
-func NewMatrixP2(m int, eps float64, d int) MatrixTracker { return core.NewP2(m, eps, d) }
-
-// NewMatrixP2SmallSpace builds the bounded-site-space variant of P2
-// (Section 5.2, "Bounding space at sites"): O(m/ε) sketch rows per site
-// instead of an O(d²) Gram, same guarantee, ≤ 2× the messages.
-func NewMatrixP2SmallSpace(m int, eps float64, d int) MatrixTracker {
-	return core.NewP2SmallSpace(m, eps, d)
-}
-
-// NewWindowedTracker wraps fresh trackers from build into a tumbling-window
-// tracker covering the most recent ~window rows (the restart construction;
-// see internal/core/window.go).
-func NewWindowedTracker(window int, build func() MatrixTracker) *core.WindowedTracker {
-	return core.NewWindowedTracker(window, build)
-}
-
-// NewMatrixP3 builds the priority row-sampling tracker (Section 5.3,
-// without replacement). seed drives the sampling randomness.
-func NewMatrixP3(m int, eps float64, d int, seed int64) MatrixTracker {
-	return core.NewP3(m, eps, d, seed)
-}
-
-// NewMatrixP3WR builds the with-replacement sampling tracker
-// (Section 4.3.1 applied to rows); dominated by NewMatrixP3, kept for
-// comparison.
-func NewMatrixP3WR(m int, eps float64, d int, seed int64) MatrixTracker {
-	return core.NewP3WR(m, eps, d, seed)
-}
-
-// NewMatrixP4 builds the appendix's negative-result tracker (Algorithm
-// C.1). It carries no approximation guarantee and exists to demonstrate the
-// failure mode experimentally.
-func NewMatrixP4(m int, eps float64, d int, seed int64) MatrixTracker {
-	return core.NewP4(m, eps, d, seed)
-}
-
-// NewFDBaseline builds the centralized baseline: every row is forwarded and
-// the coordinator runs an ℓ-row Frequent Directions sketch.
-func NewFDBaseline(m, ell, d int) *core.NaiveFD { return core.NewNaiveFD(m, ell, d) }
-
-// NewSVDBaseline builds the exact centralized baseline (optimal but not
-// communication-efficient).
-func NewSVDBaseline(m, d int) *core.NaiveSVD { return core.NewNaiveSVD(m, d) }
-
-// RunMatrix feeds rows through a tracker with the given assigner and
-// returns the exact Gram AᵀA for evaluation.
-func RunMatrix(t MatrixTracker, rows [][]float64, asg Assigner) *Sym {
-	return core.Run(t, rows, asg)
-}
-
-// CovarianceError returns ‖AᵀA − BᵀB‖₂ / ‖A‖²_F, the paper's matrix error
-// metric, given the exact and approximate Grams.
-func CovarianceError(exact, approx *Sym) (float64, error) {
-	return metrics.CovarianceError(exact, approx)
-}
-
-// RankKError returns the optimal rank-k error σ²_{k+1}/‖A‖²_F of the exact
-// Gram — the quality bar of an offline SVD.
-func RankKError(exact *Sym, k int) (float64, error) { return metrics.RankKError(exact, k) }
-
-// ---- distributed weighted heavy hitters ----
-
-// HHProtocol is a distributed weighted heavy-hitters tracker.
-type HHProtocol = hh.Protocol
-
-// WeightedElement pairs an element with a weight (an estimate or an exact
-// frequency depending on context).
-type WeightedElement = sketch.WeightedElement
-
-// WeightedItem is one element of a weighted input stream.
-type WeightedItem = gen.WeightedItem
-
-// NewHHP1 builds the batched Misra–Gries protocol (Section 4.1).
-func NewHHP1(m int, eps float64) HHProtocol { return hh.NewP1(m, eps) }
-
-// NewHHP2 builds the deterministic Yi–Zhang-style protocol (Section 4.2),
-// with the best deterministic communication bound.
-func NewHHP2(m int, eps float64) HHProtocol { return hh.NewP2(m, eps) }
-
-// NewHHP3 builds the priority-sampling protocol (Section 4.3).
-func NewHHP3(m int, eps float64, seed int64) HHProtocol { return hh.NewP3(m, eps, seed) }
-
-// NewHHP4 builds the randomized Huang-style protocol (Section 4.4).
-func NewHHP4(m int, eps float64, seed int64) HHProtocol { return hh.NewP4(m, eps, seed) }
-
-// NewHHP4Median amplifies P4's success probability to 1−δ by running
-// copies = log(2/δ) independent instances and taking per-element medians
-// (Theorem 3's remark).
-func NewHHP4Median(m int, eps float64, copies int, seed int64) HHProtocol {
-	return hh.NewP4Median(m, eps, copies, seed)
-}
-
-// NewHHExact builds the exact ground-truth tracker (Ω(N) communication).
-func NewHHExact(m int) *hh.Exact { return hh.NewExact(m) }
-
-// RunHH feeds items through a protocol with the given assigner.
-func RunHH(p HHProtocol, items []WeightedItem, asg Assigner) { hh.Run(p, items, asg) }
-
-// HeavyHitters extracts the φ-heavy hitters from a protocol using the
-// paper's query rule (return e iff Ŵ_e/Ŵ ≥ φ − ε/2).
-func HeavyHitters(p HHProtocol, phi float64) []WeightedElement { return hh.HeavyHitters(p, phi) }
-
-// EvaluateHH scores a returned heavy-hitter set against ground truth.
-func EvaluateHH(returned, truth []WeightedElement, estimate func(uint64) float64) metrics.HHResult {
-	return metrics.EvaluateHH(returned, truth, estimate)
-}
-
-// ---- distributed weighted quantiles (companion problem) ----
-
-// QuantileTracker continuously maintains ε-approximate weighted quantiles
-// of a distributed stream, the sibling problem of heavy-hitters tracking
-// (built on the same P1 skeleton with a mergeable q-digest summary).
-type QuantileTracker = quantile.Tracker
-
-// NewQuantileTracker builds the protocol for m sites with rank error ε·W
-// over values in [0, 2^bits).
-func NewQuantileTracker(m int, eps float64, bits uint) *QuantileTracker {
-	return quantile.NewTracker(m, eps, bits)
-}
-
-// QDigest is the standalone mergeable weighted quantile summary.
-type QDigest = quantile.QDigest
-
-// NewQDigest builds a q-digest for values in [0, 2^bits) with rank error εW.
-func NewQDigest(bits uint, eps float64) *QDigest { return quantile.NewQDigest(bits, eps) }
-
-// ---- standalone sketching primitives ----
-
-// FrequentDirections is Liberty's matrix sketch, the centralized building
-// block of Matrix P1; see sketch.FD for the full API.
-type FrequentDirections = sketch.FD
-
-// NewFrequentDirections returns an ℓ-row FD sketch for d-dimensional rows
-// with deterministic error ‖A‖²_F/(ℓ+1).
-func NewFrequentDirections(ell, d int) *FrequentDirections { return sketch.NewFD(ell, d) }
-
-// MisraGries is the weighted Misra–Gries frequency summary.
-type MisraGries = sketch.MG
-
-// NewMisraGries returns a k-counter weighted Misra–Gries summary.
-func NewMisraGries(k int) *MisraGries { return sketch.NewMG(k) }
-
-// SpaceSaving is the weighted SpaceSaving frequency summary.
-type SpaceSaving = sketch.SpaceSaving
-
-// NewSpaceSaving returns a k-counter weighted SpaceSaving summary.
-func NewSpaceSaving(k int) *SpaceSaving { return sketch.NewSpaceSaving(k) }
 
 // ---- stream plumbing ----
 
@@ -247,10 +93,10 @@ func NewUniformRandom(m int, seed int64) Assigner { return stream.NewUniformRand
 
 // ---- deployable runtime (concurrent sites, real transports) ----
 //
-// The trackers above are deterministic single-threaded simulations — ideal
-// for experiments and exact message accounting. For deployment, the node
-// runtime provides thread-safe site/coordinator halves of the headline P2
-// protocols plus in-process and TCP transports.
+// The trackers built by the registry are deterministic single-threaded
+// simulations — ideal for experiments and exact message accounting. For
+// deployment, the node runtime provides thread-safe site/coordinator
+// halves of the headline P2 protocols plus in-process and TCP transports.
 
 // HHCluster is an in-process deployment of heavy-hitters P2: m thread-safe
 // sites wired to one coordinator; feed sites from concurrent goroutines.

@@ -1,0 +1,49 @@
+package distmat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned by the public API. Match them with errors.Is;
+// the wrapped message carries the offending parameter and value.
+var (
+	// ErrInvalidConfig reports a Config that fails validation (site count,
+	// ε range, row dimension, copies, window, or quantile universe).
+	ErrInvalidConfig = errors.New("distmat: invalid config")
+
+	// ErrUnknownProtocol reports a protocol name absent from the registry.
+	// The message lists the registered names.
+	ErrUnknownProtocol = errors.New("distmat: unknown protocol")
+
+	// ErrWrongKind reports an operation that does not apply to a session's
+	// kind (e.g. ProcessRows on a heavy-hitters session).
+	ErrWrongKind = errors.New("distmat: operation does not apply to this session kind")
+
+	// ErrDimensionMismatch reports a row whose length differs from the
+	// session's configured dimension d.
+	ErrDimensionMismatch = errors.New("distmat: row dimension mismatch")
+
+	// ErrInvalidItem reports a stream item a session cannot ingest: a
+	// non-positive weight, or a quantile value outside [0, 2^Bits).
+	ErrInvalidItem = errors.New("distmat: invalid stream item")
+
+	// ErrInvalidQuery reports an out-of-range query parameter, e.g. a
+	// heavy-hitter threshold or quantile rank outside its domain.
+	ErrInvalidQuery = errors.New("distmat: invalid query")
+)
+
+// invalidConfig wraps a detailed validation failure in ErrInvalidConfig.
+func invalidConfig(detail error) error {
+	return fmt.Errorf("%w: %s", ErrInvalidConfig, detail)
+}
+
+// invalidConfigf wraps a formatted validation failure in ErrInvalidConfig.
+func invalidConfigf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, args...))
+}
+
+// unknownProtocol builds an ErrUnknownProtocol listing the registered names.
+func unknownProtocol(kind, name string, known []string) error {
+	return fmt.Errorf("%w: %s protocol %q (registered: %v)", ErrUnknownProtocol, kind, name, known)
+}

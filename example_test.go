@@ -1,30 +1,71 @@
 package distmat_test
 
 import (
+	"errors"
 	"fmt"
 
 	distmat "repro"
 )
 
-// ExampleNewMatrixP2 tracks a small distributed matrix stream and verifies
-// the deterministic guarantee of protocol P2.
-func ExampleNewMatrixP2() {
+// ExampleNewMatrixSession tracks a small distributed matrix stream through
+// the batch-ingestion session API and verifies the deterministic guarantee
+// of protocol P2.
+func ExampleNewMatrixSession() {
 	const m, eps, d = 4, 0.2, 8
 
 	rows := distmat.HighRankMatrix(distmat.MatrixConfig{N: 2000, D: d, Beta: 100, Seed: 7})
-	tracker := distmat.NewMatrixP2(m, eps, d)
-	exact := distmat.RunMatrix(tracker, rows, distmat.NewRoundRobin(m))
+	sess, err := distmat.NewMatrixSession("p2",
+		distmat.WithSites(m),
+		distmat.WithEpsilon(eps),
+		distmat.WithDim(d),
+		distmat.WithAssigner(distmat.NewRoundRobin(m)),
+		distmat.WithExactTracking())
+	if err != nil {
+		panic(err)
+	}
+	if err := sess.ProcessRows(rows); err != nil {
+		panic(err)
+	}
 
-	covErr, err := distmat.CovarianceError(exact, tracker.Gram())
+	snap := sess.Snapshot()
+	covErr, err := distmat.CovarianceError(snap.Exact, snap.Gram)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("guarantee holds: %v\n", covErr <= eps)
 	fmt.Printf("cheaper than shipping the stream: %v\n",
-		tracker.Stats().Total() < int64(len(rows)))
+		snap.Stats.Total() < snap.Count)
 	// Output:
 	// guarantee holds: true
 	// cheaper than shipping the stream: true
+}
+
+// ExampleNewMatrixByName selects a protocol from the registry by name —
+// the path a -protocol CLI flag takes — and shows the error contract for
+// unknown names and invalid configurations.
+func ExampleNewMatrixByName() {
+	cfg := distmat.DefaultConfig()
+	cfg.Sites, cfg.Epsilon, cfg.Dim = 4, 0.2, 8
+
+	tracker, err := distmat.NewMatrixByName("p2", cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("built:", tracker.Name())
+
+	_, err = distmat.NewMatrixByName("p9", cfg)
+	fmt.Println("unknown name rejected:", errors.Is(err, distmat.ErrUnknownProtocol))
+
+	cfg.Epsilon = 1.5
+	_, err = distmat.NewMatrixByName("p2", cfg)
+	fmt.Println("bad ε rejected:", errors.Is(err, distmat.ErrInvalidConfig))
+
+	fmt.Println("registered:", distmat.MatrixProtocols())
+	// Output:
+	// built: P2
+	// unknown name rejected: true
+	// bad ε rejected: true
+	// registered: [p1 p2 p2small p3 p3wr p4 fd svd]
 }
 
 // ExampleNewHHP2 tracks weighted heavy hitters over a Zipfian stream.

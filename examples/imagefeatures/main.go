@@ -34,21 +34,32 @@ func main() {
 	cfg := distmat.MatrixConfig{N: n, D: dim, EffectiveRank: 8, NoiseStd: 0.02, Beta: 500, Seed: 3}
 	rows := distmat.LowRankMatrix(cfg)
 
-	tracker := distmat.NewMatrixP2(nodes, eps, dim)
-	exact := distmat.RunMatrix(tracker, rows, distmat.NewUniformRandom(nodes, 4))
+	sess, err := distmat.NewMatrixSession("p2",
+		distmat.WithSites(nodes),
+		distmat.WithEpsilon(eps),
+		distmat.WithDim(dim),
+		distmat.WithSeed(4),
+		distmat.WithExactTracking())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.ProcessRows(rows); err != nil {
+		log.Fatal(err)
+	}
 
-	covErr, err := distmat.CovarianceError(exact, tracker.Gram())
+	snap := sess.Snapshot()
+	covErr, err := distmat.CovarianceError(snap.Exact, snap.Gram)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Compare the top-k principal energy captured by the approximation:
 	// the optimal rank-k residual from both Grams should agree.
-	exactResid, err := distmat.RankKError(exact, topK)
+	exactResid, err := distmat.RankKError(snap.Exact, topK)
 	if err != nil {
 		log.Fatal(err)
 	}
-	approxResid, err := distmat.RankKError(tracker.Gram(), topK)
+	approxResid, err := distmat.RankKError(snap.Gram, topK)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +69,7 @@ func main() {
 	fmt.Printf("top-%d PCA residual:      exact %.4g vs coordinator %.4g (Δ=%.2g)\n",
 		topK, exactResid, approxResid, math.Abs(exactResid-approxResid))
 	fmt.Printf("communication:           %d messages for %d rows (%.1fx saving)\n",
-		tracker.Stats().Total(), n, float64(n)/float64(tracker.Stats().Total()))
+		snap.Stats.Total(), n, float64(n)/float64(snap.Stats.Total()))
 	fmt.Println("\nthe search pipeline can rebuild its PCA model from the coordinator at any")
 	fmt.Println("time instant without ever collecting the raw descriptors centrally.")
 }

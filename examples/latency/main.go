@@ -5,17 +5,18 @@
 // — the tail that matters for capacity). The operations center needs live
 // p50/p90/p99 of response latency without shipping per-request logs.
 //
-// This example uses the library's distributed weighted quantile tracker
-// (the companion protocol to heavy hitters, same batched-summary skeleton).
-// Like the paper's P1, its advantage compounds with stream length: summary
-// ships per round are bounded by the q-digest size O(bits/ε) while the
-// naive export grows linearly.
+// This example uses a quantile session over the library's distributed
+// weighted quantile tracker (the companion protocol to heavy hitters, same
+// batched-summary skeleton). Like the paper's P1, its advantage compounds
+// with stream length: summary ships per round are bounded by the q-digest
+// size O(bits/ε) while the naive export grows linearly.
 //
 //	go run ./examples/latency
 package main
 
 import (
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
 	"sort"
@@ -24,7 +25,8 @@ import (
 )
 
 // event is one response: latency in milliseconds (bounded to 2^12 ≈ 4 s)
-// and bytes served.
+// and bytes served. A quantile session ingests it as a WeightedItem whose
+// Elem is the value and Weight the byte count.
 type event struct {
 	latencyMS uint64
 	bytes     float64
@@ -62,10 +64,20 @@ func main() {
 	rng := rand.New(rand.NewSource(9))
 	events := synthesize(n, rng)
 
-	tracker := distmat.NewQuantileTracker(servers, eps, bits)
-	asg := distmat.NewUniformRandom(servers, 10)
-	for _, e := range events {
-		tracker.Process(asg.Next(), e.latencyMS, e.bytes)
+	sess, err := distmat.NewQuantileSession(
+		distmat.WithSites(servers),
+		distmat.WithEpsilon(eps),
+		distmat.WithBits(bits),
+		distmat.WithSeed(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	items := make([]distmat.WeightedItem, len(events))
+	for i, e := range events {
+		items[i] = distmat.WeightedItem{Elem: e.latencyMS, Weight: e.bytes}
+	}
+	if err := sess.ProcessItems(items); err != nil {
+		log.Fatal(err)
 	}
 
 	// Exact byte-weighted percentiles for comparison.
@@ -90,11 +102,16 @@ func main() {
 	fmt.Printf("fleet of %d servers, %d responses, byte-weighted percentiles (ε=%g)\n\n", servers, n, eps)
 	fmt.Printf("%-6s  %-12s  %-12s\n", "pct", "coordinator", "exact")
 	for _, phi := range []float64{0.50, 0.90, 0.99} {
+		est, err := sess.Quantile(phi)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("p%-5.0f  %-12s  %-12s\n", phi*100,
-			fmt.Sprintf("%d ms", tracker.Quantile(phi)),
+			fmt.Sprintf("%d ms", est),
 			fmt.Sprintf("%d ms", exactQ(phi)))
 	}
+	snap := sess.Snapshot()
 	fmt.Printf("\ncommunication: %d messages (%.1f%% of per-request export; the ratio\n",
-		tracker.Stats().Total(), 100*float64(tracker.Stats().Total())/float64(n))
+		snap.Stats.Total(), 100*float64(snap.Stats.Total())/float64(n))
 	fmt.Println("keeps falling as the stream grows — rounds are logarithmic in total bytes)")
 }

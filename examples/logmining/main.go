@@ -57,21 +57,33 @@ func main() {
 		rows[i] = record(rng)
 	}
 
-	tracker := distmat.NewMatrixP3(collectors, eps, vocab, 12)
-	exact := distmat.RunMatrix(tracker, rows, distmat.NewUniformRandom(collectors, 13))
+	sess, err := distmat.NewMatrixSession("p3",
+		distmat.WithSites(collectors),
+		distmat.WithEpsilon(eps),
+		distmat.WithDim(vocab),
+		distmat.WithSeed(12),
+		distmat.WithAssigner(distmat.NewUniformRandom(collectors, 13)),
+		distmat.WithExactTracking())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.ProcessRows(rows); err != nil {
+		log.Fatal(err)
+	}
 
-	covErr, err := distmat.CovarianceError(exact, tracker.Gram())
+	snap := sess.Snapshot()
+	covErr, err := distmat.CovarianceError(snap.Exact, snap.Gram)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The three planted topics should dominate both spectra identically:
 	// compare the rank-3 residual energy.
-	exactResid, err := distmat.RankKError(exact, len(topics))
+	exactResid, err := distmat.RankKError(snap.Exact, len(topics))
 	if err != nil {
 		log.Fatal(err)
 	}
-	approxResid, err := distmat.RankKError(tracker.Gram(), len(topics))
+	approxResid, err := distmat.RankKError(snap.Gram, len(topics))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +93,7 @@ func main() {
 	fmt.Printf("rank-3 residual:    exact %.4g vs coordinator %.4g (Δ=%.2g)\n",
 		exactResid, approxResid, math.Abs(exactResid-approxResid))
 	fmt.Printf("communication:      %d messages for %d records (%.1fx saving)\n",
-		tracker.Stats().Total(), n, float64(n)/float64(tracker.Stats().Total()))
+		snap.Stats.Total(), n, float64(n)/float64(snap.Stats.Total()))
 	fmt.Println("\nLSI over the coordinator's covariance finds the same dominant topics as")
 	fmt.Println("LSI over the full distributed log, at a fraction of the network cost.")
 }

@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	distmat "repro"
@@ -45,22 +46,35 @@ func main() {
 		stream[i] = distmat.WeightedItem{Elem: dst, Weight: bytes}
 	}
 
-	monitor := distmat.NewHHP2(sites, eps)
-	distmat.RunHH(monitor, stream, distmat.NewUniformRandom(sites, 8))
+	monitor, err := distmat.NewHHSession("p2",
+		distmat.WithSites(sites),
+		distmat.WithEpsilon(eps),
+		distmat.WithSeed(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := monitor.ProcessItems(stream); err != nil {
+		log.Fatal(err)
+	}
 
 	// Ground truth for the report.
 	exact := distmat.NewHHExact(sites)
 	distmat.RunHH(exact, stream, distmat.NewUniformRandom(sites, 8))
 
+	snap := monitor.Snapshot()
 	fmt.Printf("monitored %d flows across %d vantage points\n", n, sites)
 	fmt.Printf("total bytes: %.4g (coordinator estimate: %.4g)\n",
-		exact.EstimateTotal(), monitor.EstimateTotal())
+		exact.EstimateTotal(), snap.Total)
 	fmt.Printf("communication: %d messages (%.2f%% of naive per-flow export)\n\n",
-		monitor.Stats().Total(), 100*float64(monitor.Stats().Total())/float64(n))
+		snap.Stats.Total(), 100*float64(snap.Stats.Total())/float64(n))
 
+	hot, err := monitor.HeavyHitters(phi)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("destinations above %.0f%% of global bytes:\n", phi*100)
-	for _, hh := range distmat.HeavyHitters(monitor, phi) {
-		share := hh.Weight / monitor.EstimateTotal()
+	for _, hh := range hot {
+		share := hh.Weight / snap.Total
 		fmt.Printf("  dst %-6d  est bytes %.4g  (%.1f%% of traffic, exact %.4g)\n",
 			hh.Elem, hh.Weight, share*100, exact.Estimate(hh.Elem))
 	}

@@ -22,16 +22,29 @@ func main() {
 	rows := distmat.LowRankMatrix(distmat.PAMAPLike(n))
 	d := len(rows[0])
 
-	// The tracker is the whole distributed system in one deterministic
-	// state machine: sites plus coordinator plus message accounting.
-	tracker := distmat.NewMatrixP2(m, eps, d)
+	// A session is the whole distributed system in one deterministic state
+	// machine: the registered protocol, a site assigner, and message
+	// accounting. WithExactTracking keeps the exact Gram for evaluation.
+	sess, err := distmat.NewMatrixSession("p2",
+		distmat.WithSites(m),
+		distmat.WithEpsilon(eps),
+		distmat.WithDim(d),
+		distmat.WithSeed(42),
+		distmat.WithExactTracking())
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// Stream rows to random sites, as they would arrive in production.
-	assigner := distmat.NewUniformRandom(m, 42)
-	exact := distmat.RunMatrix(tracker, rows, assigner)
+	// Stream rows in one batch; the assigner deals them to random sites,
+	// as they would arrive in production.
+	if err := sess.ProcessRows(rows); err != nil {
+		log.Fatal(err)
+	}
 
-	// The coordinator continuously holds B with ‖AᵀA − BᵀB‖₂ ≤ ε‖A‖²_F.
-	covErr, err := distmat.CovarianceError(exact, tracker.Gram())
+	// The coordinator continuously holds B with ‖AᵀA − BᵀB‖₂ ≤ ε‖A‖²_F;
+	// a snapshot is an immutable view of its state.
+	snap := sess.Snapshot()
+	covErr, err := distmat.CovarianceError(snap.Exact, snap.Gram)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,5 +52,5 @@ func main() {
 	fmt.Printf("streamed %d rows (d=%d) across %d sites\n", n, d, m)
 	fmt.Printf("covariance error: %.4g (guarantee: ≤ ε = %g)\n", covErr, eps)
 	fmt.Printf("communication:    %d messages vs %d for the naive protocol (%.1fx saving)\n",
-		tracker.Stats().Total(), n, float64(n)/float64(tracker.Stats().Total()))
+		snap.Stats.Total(), n, float64(n)/float64(snap.Stats.Total()))
 }

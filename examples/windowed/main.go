@@ -43,25 +43,37 @@ func main() {
 	)
 	rng := rand.New(rand.NewSource(5))
 
-	windowed := distmat.NewWindowedTracker(window, func() distmat.MatrixTracker {
-		return distmat.NewMatrixP2(m, eps, d)
-	})
-	unwindowed := distmat.NewMatrixP2(m, eps, d)
-	asg1 := distmat.NewUniformRandom(m, 6)
-	asg2 := distmat.NewUniformRandom(m, 6)
+	// Two sessions over the same protocol: WithWindow wraps the tracker in
+	// the tumbling-window construction, the other keeps all history.
+	windowed, err := distmat.NewMatrixSession("p2",
+		distmat.WithSites(m), distmat.WithEpsilon(eps), distmat.WithDim(d),
+		distmat.WithSeed(6), distmat.WithWindow(window))
+	if err != nil {
+		log.Fatal(err)
+	}
+	unwindowed, err := distmat.NewMatrixSession("p2",
+		distmat.WithSites(m), distmat.WithEpsilon(eps), distmat.WithDim(d),
+		distmat.WithSeed(6))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for regime := 0; regime < 3; regime++ {
 		for i := 0; i < perReg; i++ {
 			row := regimeRow(regime, rng)
-			windowed.ProcessRow(asg1.Next(), row)
-			unwindowed.ProcessRow(asg2.Next(), row)
+			if err := windowed.ProcessRow(row); err != nil {
+				log.Fatal(err)
+			}
+			if err := unwindowed.ProcessRow(row); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 
 	// The live regime (2) occupies coordinates 16..23. Measure how much of
-	// each tracker's spectral energy sits in that block.
-	blockEnergy := func(t distmat.MatrixTracker) float64 {
-		g := t.Gram()
+	// each session's spectral energy sits in that block.
+	blockEnergy := func(s *distmat.Session) float64 {
+		g := s.Snapshot().Gram
 		var block, total float64
 		for j := 0; j < d; j++ {
 			v := g.At(j, j)

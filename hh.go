@@ -1,0 +1,121 @@
+package distmat
+
+import (
+	"repro/internal/gen"
+	"repro/internal/hh"
+	"repro/internal/metrics"
+	"repro/internal/sketch"
+)
+
+// ---- distributed weighted heavy hitters ----
+
+// HHProtocol is a distributed weighted heavy-hitters tracker. Build one
+// with NewHH / NewHHByName.
+type HHProtocol = hh.Protocol
+
+// WeightedElement pairs an element with a weight (an estimate or an exact
+// frequency depending on context).
+type WeightedElement = sketch.WeightedElement
+
+// WeightedItem is one element of a weighted input stream.
+type WeightedItem = gen.WeightedItem
+
+// RunHH feeds items through a protocol with the given assigner. It is a
+// thin wrapper over a Session; prefer sessions for new code.
+func RunHH(p HHProtocol, items []WeightedItem, asg Assigner) {
+	s, err := WrapHHSession(p, WithAssigner(asg))
+	if err != nil {
+		panic(err)
+	}
+	if err := s.ProcessItems(items); err != nil {
+		panic(err)
+	}
+}
+
+// HeavyHitters extracts the φ-heavy hitters from a protocol using the
+// paper's query rule (return e iff Ŵ_e/Ŵ ≥ φ − ε/2).
+func HeavyHitters(p HHProtocol, phi float64) []WeightedElement { return hh.HeavyHitters(p, phi) }
+
+// EvaluateHH scores a returned heavy-hitter set against ground truth.
+func EvaluateHH(returned, truth []WeightedElement, estimate func(uint64) float64) metrics.HHResult {
+	return metrics.EvaluateHH(returned, truth, estimate)
+}
+
+// ---- standalone frequency summaries ----
+
+// MisraGries is the weighted Misra–Gries frequency summary.
+type MisraGries = sketch.MG
+
+// NewMisraGries returns a k-counter weighted Misra–Gries summary.
+func NewMisraGries(k int) *MisraGries { return sketch.NewMG(k) }
+
+// SpaceSaving is the weighted SpaceSaving frequency summary.
+type SpaceSaving = sketch.SpaceSaving
+
+// NewSpaceSaving returns a k-counter weighted SpaceSaving summary.
+func NewSpaceSaving(k int) *SpaceSaving { return sketch.NewSpaceSaving(k) }
+
+// ---- deprecated positional constructors ----
+//
+// These predate the registry and panic on invalid parameters; they remain
+// as thin shims over the registry. New code should use NewHH / NewHHByName
+// and handle the error.
+
+// mustHH builds a registered protocol and panics on error, preserving the
+// deprecated constructors' contract.
+func mustHH(name string, cfg Config) HHProtocol {
+	p, err := NewHHByName(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// hhConfig fills the non-HH defaults around positional parameters.
+func hhConfig(m int, eps float64, seed int64, copies int) Config {
+	c := DefaultConfig()
+	c.Sites, c.Epsilon, c.Seed, c.Copies = m, eps, seed, copies
+	return c
+}
+
+// NewHHP1 builds the batched Misra–Gries protocol (Section 4.1).
+//
+// Deprecated: use NewHH("p1", ...), which reports errors instead of
+// panicking.
+func NewHHP1(m int, eps float64) HHProtocol { return mustHH("p1", hhConfig(m, eps, 1, 1)) }
+
+// NewHHP2 builds the deterministic Yi–Zhang-style protocol (Section 4.2),
+// with the best deterministic communication bound.
+//
+// Deprecated: use NewHH("p2", ...), which reports errors instead of
+// panicking.
+func NewHHP2(m int, eps float64) HHProtocol { return mustHH("p2", hhConfig(m, eps, 1, 1)) }
+
+// NewHHP3 builds the priority-sampling protocol (Section 4.3).
+//
+// Deprecated: use NewHH("p3", ...), which reports errors instead of
+// panicking.
+func NewHHP3(m int, eps float64, seed int64) HHProtocol {
+	return mustHH("p3", hhConfig(m, eps, seed, 1))
+}
+
+// NewHHP4 builds the randomized Huang-style protocol (Section 4.4).
+//
+// Deprecated: use NewHH("p4", ...), which reports errors instead of
+// panicking.
+func NewHHP4(m int, eps float64, seed int64) HHProtocol {
+	return mustHH("p4", hhConfig(m, eps, seed, 1))
+}
+
+// NewHHP4Median amplifies P4's success probability to 1−δ by running
+// copies = log(2/δ) independent instances and taking per-element medians
+// (Theorem 3's remark).
+//
+// Deprecated: use NewHH("p4median", ..., WithCopies(copies)), which reports
+// errors instead of panicking.
+func NewHHP4Median(m int, eps float64, copies int, seed int64) HHProtocol {
+	return mustHH("p4median", hhConfig(m, eps, seed, copies))
+}
+
+// NewHHExact builds the exact ground-truth tracker (Ω(N) communication).
+func NewHHExact(m int) *hh.Exact { return hh.NewExact(m) }

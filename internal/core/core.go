@@ -75,15 +75,34 @@ func DirectionalError(gramA, gramB *matrix.Sym, xs [][]float64) float64 {
 	return worst / fro
 }
 
-func validateParams(m int, eps float64, d int) {
+// CheckParams reports whether (m, eps, d) are valid tracker parameters.
+// The public facade turns a non-nil result into its typed configuration
+// error; the deprecated panicking constructors funnel through it too, so
+// the two paths agree on what is valid.
+func CheckParams(m int, eps float64, d int) error {
 	if m < 1 {
-		panic(fmt.Sprintf("core: need m ≥ 1 sites, got %d", m))
+		return fmt.Errorf("core: need m ≥ 1 sites, got %d", m)
 	}
 	if eps <= 0 || eps >= 1 {
-		panic(fmt.Sprintf("core: need 0 < ε < 1, got %v", eps))
+		return fmt.Errorf("core: need 0 < ε < 1, got %v", eps)
 	}
 	if d < 1 {
-		panic(fmt.Sprintf("core: need d ≥ 1, got %d", d))
+		return fmt.Errorf("core: need d ≥ 1, got %d", d)
+	}
+	return nil
+}
+
+// CheckWindow reports whether window is a valid tumbling-window size.
+func CheckWindow(window int) error {
+	if window < 2 {
+		return fmt.Errorf("core: need window ≥ 2, got %d", window)
+	}
+	return nil
+}
+
+func validateParams(m int, eps float64, d int) {
+	if err := CheckParams(m, eps, d); err != nil {
+		panic(err.Error())
 	}
 }
 

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/matrix"
 	"repro/internal/stream"
 )
@@ -35,8 +33,8 @@ type WindowedTracker struct {
 // instance of some protocol) into a tumbling-window tracker covering the
 // most recent ~window rows. window must be ≥ 2.
 func NewWindowedTracker(window int, build func() Tracker) *WindowedTracker {
-	if window < 2 {
-		panic(fmt.Sprintf("core: need window ≥ 2, got %d", window))
+	if err := CheckWindow(window); err != nil {
+		panic(err.Error())
 	}
 	return &WindowedTracker{
 		window:  window,

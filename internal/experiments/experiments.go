@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	distmat "repro"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/hh"
@@ -33,6 +34,12 @@ type Config struct {
 	Beta    float64 // weight upper bound β (paper: 1000)
 	Seed    int64
 
+	// HHProtos and MatProtos select the protocols every sweep runs, as
+	// registry names (distmat.HHProtocols / distmat.MatrixProtocols).
+	// The paper's sweeps use p1–p4 for both problems.
+	HHProtos  []string
+	MatProtos []string
+
 	HHEpsList  []float64 // Fig 1 sweep (paper: 5e-4 … 5e-2)
 	MatEpsList []float64 // Fig 2/3 sweep (paper: 5e-3 … 5e-1)
 	BetaList   []float64 // Fig 1(f) sweep
@@ -44,6 +51,9 @@ type Config struct {
 	Progress io.Writer // optional progress log (nil = silent)
 }
 
+// paperProtos is the protocol set of the paper's sweeps.
+func paperProtos() []string { return []string{"p1", "p2", "p3", "p4"} }
+
 // Default returns a configuration that reproduces every qualitative shape
 // of the paper's evaluation in a few minutes of CPU.
 func Default() Config {
@@ -54,6 +64,8 @@ func Default() Config {
 		Phi:        0.05,
 		Beta:       1000,
 		Seed:       1,
+		HHProtos:   paperProtos(),
+		MatProtos:  paperProtos(),
 		HHEpsList:  []float64{5e-4, 1e-3, 5e-3, 1e-2, 5e-2},
 		MatEpsList: []float64{5e-3, 1e-2, 5e-2, 1e-1, 5e-1},
 		BetaList:   []float64{1, 10, 100, 1000, 10000},
@@ -73,6 +85,8 @@ func Quick() Config {
 		Phi:        0.05,
 		Beta:       100,
 		Seed:       1,
+		HHProtos:   paperProtos(),
+		MatProtos:  paperProtos(),
 		HHEpsList:  []float64{1e-3, 1e-2, 5e-2},
 		MatEpsList: []float64{1e-2, 1e-1, 5e-1},
 		BetaList:   []float64{1, 100, 10000},
@@ -235,15 +249,118 @@ type hhResult struct {
 	msg   int64
 }
 
-// hhProtocols builds the four protocols at a given ε.
-func (r *Runner) hhProtocols(eps float64) []hh.Protocol {
-	m := r.cfg.Sites
-	return []hh.Protocol{
-		hh.NewP1(m, eps),
-		hh.NewP2(m, eps),
-		hh.NewP3(m, eps, r.cfg.Seed+10),
-		hh.NewP4(m, eps, r.cfg.Seed+11),
+// --- registry-driven protocol construction ------------------------------
+//
+// Every sweep builds its protocol set from the public registry, so the
+// harness runs whatever -protocol subset the caller configured. Randomized
+// protocols receive seedBase, seedBase+1, ... in list order, which
+// reproduces the seeds the harness used before it was registry-driven.
+
+// randomizedNames maps canonical registry names to their Randomized flag,
+// for one protocol kind.
+func randomizedNames(infos []distmat.ProtocolInfo) map[string]bool {
+	out := make(map[string]bool, len(infos))
+	for _, info := range infos {
+		out[info.Name] = info.Randomized
+		for _, a := range info.Aliases {
+			out[a] = info.Randomized
+		}
 	}
+	return out
+}
+
+var (
+	hhRandomized  = randomizedNames(distmat.HHProtocolInfos())
+	matRandomized = randomizedNames(distmat.MatrixProtocolInfos())
+)
+
+// buildHH constructs the named heavy-hitters protocols via the registry.
+func buildHH(names []string, m int, eps float64, seedBase int64) []hh.Protocol {
+	out := make([]hh.Protocol, 0, len(names))
+	var randIdx int64
+	for _, name := range names {
+		cfg := distmat.DefaultConfig()
+		cfg.Sites, cfg.Epsilon, cfg.Copies = m, eps, 3
+		cfg.Seed = seedBase + randIdx
+		p, err := distmat.NewHHByName(name, cfg)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		if hhRandomized[strings.ToLower(name)] {
+			randIdx++
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// buildMat constructs the named matrix trackers via the registry.
+func buildMat(names []string, m int, eps float64, d int, seedBase int64) []core.Tracker {
+	out := make([]core.Tracker, 0, len(names))
+	var randIdx int64
+	for _, name := range names {
+		cfg := distmat.DefaultConfig()
+		cfg.Sites, cfg.Epsilon, cfg.Dim = m, eps, d
+		cfg.Seed = seedBase + randIdx
+		t, err := distmat.NewMatrixByName(name, cfg)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		if matRandomized[strings.ToLower(name)] {
+			randIdx++
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// hhLabels returns the display names (Protocol.Name) of the configured
+// heavy-hitters protocol set, for table columns.
+func (r *Runner) hhLabels() []string {
+	out := make([]string, len(r.cfg.HHProtos))
+	for i, name := range r.cfg.HHProtos {
+		info, ok := distmat.LookupHHProtocol(name)
+		if !ok {
+			panic("experiments: unknown heavy-hitters protocol " + name)
+		}
+		out[i] = info.Display
+	}
+	return out
+}
+
+// matLabels returns the display names of the configured matrix protocol
+// set; withP4=false drops p4, matching the paper's panels that exclude it.
+func (r *Runner) matLabels(withP4 bool) []string {
+	protos := r.matProtos(withP4)
+	out := make([]string, len(protos))
+	for i, name := range protos {
+		info, ok := distmat.LookupMatrixProtocol(name)
+		if !ok {
+			panic("experiments: unknown matrix protocol " + name)
+		}
+		out[i] = info.Display
+	}
+	return out
+}
+
+// matProtos returns the configured matrix protocol names, optionally
+// without p4.
+func (r *Runner) matProtos(withP4 bool) []string {
+	if withP4 {
+		return r.cfg.MatProtos
+	}
+	out := make([]string, 0, len(r.cfg.MatProtos))
+	for _, name := range r.cfg.MatProtos {
+		if strings.ToLower(name) != "p4" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// hhProtocols builds the configured protocols at a given ε.
+func (r *Runner) hhProtocols(eps float64) []hh.Protocol {
+	return buildHH(r.cfg.HHProtos, r.cfg.Sites, eps, r.cfg.Seed+10)
 }
 
 // runHH evaluates all protocols at one ε over the Zipf stream.
@@ -275,7 +392,7 @@ func (r *Runner) runHH(eps float64) []hhResult {
 // versus ε (panels a–d), the error-versus-messages trade-off (panel e), and
 // robustness of message count to β (panel f).
 func (r *Runner) Fig1() []Table {
-	protos := []string{"P1", "P2", "P3", "P4"}
+	protos := r.hhLabels()
 	panels := []struct {
 		id, title string
 		logY      bool
@@ -367,15 +484,11 @@ type matSweep struct {
 	siteRows []matResult // m sweep at ε=0.1
 }
 
-// matTrackers builds the protocol set for the ε/m sweeps, including P4 so
-// Figures 6 and 7 come from the same runs.
+// matTrackers builds the configured protocol set for the ε/m sweeps,
+// including P4 (when configured) so Figures 6 and 7 come from the same
+// runs.
 func (r *Runner) matTrackers(m int, eps float64, d int) []core.Tracker {
-	return []core.Tracker{
-		core.NewP1(m, eps, d),
-		core.NewP2(m, eps, d),
-		core.NewP3(m, eps, d, r.cfg.Seed+30),
-		core.NewP4(m, eps, d, r.cfg.Seed+31),
-	}
+	return buildMat(r.cfg.MatProtos, m, eps, d, r.cfg.Seed+30)
 }
 
 // runMat evaluates a tracker and returns its error and message count.
@@ -432,12 +545,7 @@ func (r *Runner) Table1() Table {
 		rows, d, k := r.dataset(name)
 		m := r.cfg.Sites
 		const eps = 0.1
-		trackers := []core.Tracker{
-			core.NewP1(m, eps, d),
-			core.NewP2(m, eps, d),
-			core.NewP3(m, eps, d, r.cfg.Seed+50),
-			core.NewP3WR(m, eps, d, r.cfg.Seed+51),
-		}
+		trackers := buildMat([]string{"p1", "p2", "p3", "p3wr"}, m, eps, d, r.cfg.Seed+50)
 		labels := []string{"P1", "P2", "P3wor", "P3wr"}
 		for i, tr := range trackers {
 			r.logf("Table1 %s: %s", name, labels[i])
@@ -448,7 +556,12 @@ func (r *Runner) Table1() Table {
 		}
 
 		// FD baseline: centralized sketch with ℓ = k rows, evaluated as-is.
-		fd := core.NewNaiveFD(m, k, d)
+		fdCfg := distmat.DefaultConfig()
+		fdCfg.Sites, fdCfg.Dim, fdCfg.Rank = m, d, k
+		fd, err := distmat.NewMatrixByName("fd", fdCfg)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
 		exact := core.Run(fd, rows, stream.NewUniformRandom(m, r.cfg.Seed+52))
 		eFD, err := metrics.CovarianceError(exact, fd.Gram())
 		if err != nil {
@@ -478,7 +591,7 @@ func (r *Runner) Table1() Table {
 // matrixPanels renders the four panels of Figure 2 or 3 for a dataset.
 func (r *Runner) matrixPanels(figID, name string) []Table {
 	s := r.matSweepFor(name)
-	protos := []string{"P1", "P2", "P3"} // the paper's panels exclude P4
+	protos := r.matLabels(false) // the paper's panels exclude P4
 
 	var out []Table
 	// (a) err vs ε and (b) msg vs ε.
@@ -554,7 +667,7 @@ func (r *Runner) Fig4() []Table {
 // working protocols.
 func (r *Runner) p4Panels(figID, name string) []Table {
 	s := r.matSweepFor(name)
-	protos := []string{"P1", "P2", "P3", "P4"}
+	protos := r.matLabels(true)
 	ta := Table{
 		ID: figID + "(a)", Title: name + ": err vs ε (P4 vs others)",
 		Columns: append([]string{"eps"}, protos...),

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/hh"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
@@ -24,12 +23,7 @@ func (r *Runner) Stability() []Table {
 	items := r.zipfStream()
 	m := r.cfg.Sites
 	const eps = 1e-3
-	protos := []hh.Protocol{
-		hh.NewP1(m, eps),
-		hh.NewP2(m, eps),
-		hh.NewP3(m, eps, r.cfg.Seed+60),
-		hh.NewP4(m, eps, r.cfg.Seed+61),
-	}
+	protos := buildHH(r.cfg.HHProtos, m, eps, r.cfg.Seed+60)
 	exact := hh.NewExact(m)
 	asgs := make([]stream.Assigner, len(protos)+1)
 	for i := range asgs {
@@ -39,7 +33,7 @@ func (r *Runner) Stability() []Table {
 	th := Table{
 		ID:      "Stability (HH)",
 		Title:   fmt.Sprintf("avg err of true HHs at 10 query instants (ε=%g)", eps),
-		Columns: []string{"instant", "P1", "P2", "P3", "P4"},
+		Columns: append([]string{"instant"}, r.hhLabels()...),
 		Notes:   "extra measurement: the paper asserts stability over query time without printing it",
 	}
 	step := len(items) / checkpoints
@@ -69,11 +63,7 @@ func (r *Runner) Stability() []Table {
 	// Matrix: covariance error at ten instants on the low-rank dataset.
 	rows, d, _ := r.dataset("PAMAP")
 	const matEps = 0.1
-	trackers := []core.Tracker{
-		core.NewP1(m, matEps, d),
-		core.NewP2(m, matEps, d),
-		core.NewP3(m, matEps, d, r.cfg.Seed+63),
-	}
+	trackers := buildMat(r.matProtos(false), m, matEps, d, r.cfg.Seed+63)
 	tasg := make([]stream.Assigner, len(trackers))
 	for i := range tasg {
 		tasg[i] = stream.NewUniformRandom(m, r.cfg.Seed+64)
@@ -83,7 +73,7 @@ func (r *Runner) Stability() []Table {
 	tm := Table{
 		ID:      "Stability (matrix)",
 		Title:   fmt.Sprintf("covariance err at 10 query instants (PAMAP-like, ε=%g)", matEps),
-		Columns: []string{"instant", "P1", "P2", "P3"},
+		Columns: append([]string{"instant"}, r.matLabels(false)...),
 	}
 	step = len(rows) / checkpoints
 	for cp := 1; cp <= checkpoints; cp++ {

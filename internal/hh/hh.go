@@ -75,14 +75,33 @@ func Run(p Protocol, items []gen.WeightedItem, asg stream.Assigner) {
 	}
 }
 
-// validateSiteCount panics on a nonsensical site count; shared by the
-// protocol constructors.
-func validateParams(m int, eps float64) {
+// CheckParams reports whether (m, eps) are valid protocol parameters. The
+// public facade turns a non-nil result into its typed configuration error;
+// the deprecated panicking constructors funnel through it too.
+func CheckParams(m int, eps float64) error {
 	if m < 1 {
-		panic(fmt.Sprintf("hh: need m ≥ 1 sites, got %d", m))
+		return fmt.Errorf("hh: need m ≥ 1 sites, got %d", m)
 	}
 	if eps <= 0 || eps >= 1 {
-		panic(fmt.Sprintf("hh: need 0 < ε < 1, got %v", eps))
+		return fmt.Errorf("hh: need 0 < ε < 1, got %v", eps)
+	}
+	return nil
+}
+
+// CheckCopies reports whether copies is a valid amplification count for
+// the P4 median protocol.
+func CheckCopies(copies int) error {
+	if copies < 1 {
+		return fmt.Errorf("hh: need ≥ 1 copy, got %d", copies)
+	}
+	return nil
+}
+
+// validateParams panics on nonsensical parameters; shared by the protocol
+// constructors.
+func validateParams(m int, eps float64) {
+	if err := CheckParams(m, eps); err != nil {
+		panic(err.Error())
 	}
 }
 

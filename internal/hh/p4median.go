@@ -21,8 +21,8 @@ type P4Median struct {
 // independent copies (≥ 1, odd counts give a true median).
 func NewP4Median(m int, eps float64, copies int, seed int64) *P4Median {
 	validateParams(m, eps)
-	if copies < 1 {
-		panic("hh: need ≥ 1 copy")
+	if err := CheckCopies(copies); err != nil {
+		panic(err.Error())
 	}
 	p := &P4Median{m: m, eps: eps}
 	for i := 0; i < copies; i++ {

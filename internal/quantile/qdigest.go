@@ -37,13 +37,23 @@ type QDigest struct {
 	compressAt int
 }
 
-// NewQDigest builds a digest for values in [0, 2^bits) with rank error εW.
-func NewQDigest(bits uint, eps float64) *QDigest {
+// CheckDigestParams reports whether (bits, eps) are valid q-digest
+// parameters. The public facade turns a non-nil result into its typed
+// configuration error; the panicking constructors funnel through it too.
+func CheckDigestParams(bits uint, eps float64) error {
 	if bits < 1 || bits > 62 {
-		panic(fmt.Sprintf("quantile: need 1 ≤ bits ≤ 62, got %d", bits))
+		return fmt.Errorf("quantile: need 1 ≤ bits ≤ 62, got %d", bits)
 	}
 	if eps <= 0 || eps >= 1 {
-		panic(fmt.Sprintf("quantile: need 0 < ε < 1, got %v", eps))
+		return fmt.Errorf("quantile: need 0 < ε < 1, got %v", eps)
+	}
+	return nil
+}
+
+// NewQDigest builds a digest for values in [0, 2^bits) with rank error εW.
+func NewQDigest(bits uint, eps float64) *QDigest {
+	if err := CheckDigestParams(bits, eps); err != nil {
+		panic(err.Error())
 	}
 	return &QDigest{
 		bits:       bits,

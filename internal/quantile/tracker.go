@@ -35,14 +35,19 @@ type trackerSite struct {
 	weight float64
 }
 
+// CheckParams reports whether (m, eps, bits) are valid tracker parameters.
+func CheckParams(m int, eps float64, bits uint) error {
+	if m < 1 {
+		return fmt.Errorf("quantile: need m ≥ 1 sites, got %d", m)
+	}
+	return CheckDigestParams(bits, eps)
+}
+
 // NewTracker builds the protocol for m sites with rank error ε over the
 // value universe [0, 2^bits).
 func NewTracker(m int, eps float64, bits uint) *Tracker {
-	if m < 1 {
-		panic(fmt.Sprintf("quantile: need m ≥ 1 sites, got %d", m))
-	}
-	if eps <= 0 || eps >= 1 {
-		panic(fmt.Sprintf("quantile: need 0 < ε < 1, got %v", eps))
+	if err := CheckParams(m, eps, bits); err != nil {
+		panic(err.Error())
 	}
 	t := &Tracker{
 		m:      m,

@@ -42,8 +42,8 @@ func (s *Stats) Add(other Stats) {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("up=%d down=%d (broadcasts=%d) units=%d",
-		s.UpMsgs, s.DownMsgs, s.Broadcasts, s.UpUnits+s.DownUnits)
+	return fmt.Sprintf("up=%d down=%d (broadcasts=%d) units=%d (up=%d down=%d)",
+		s.UpMsgs, s.DownMsgs, s.Broadcasts, s.UpUnits+s.DownUnits, s.UpUnits, s.DownUnits)
 }
 
 // Accountant counts messages for a protocol instance with m sites.

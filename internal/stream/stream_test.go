@@ -57,6 +57,13 @@ func TestStatsString(t *testing.T) {
 	if (Stats{}).String() == "" {
 		t.Fatal("empty String")
 	}
+	// The report must carry the per-direction unit split, not just the sum.
+	s := Stats{UpMsgs: 2, DownMsgs: 3, Broadcasts: 1, UpUnits: 7, DownUnits: 5}
+	got := s.String()
+	want := "up=2 down=3 (broadcasts=1) units=12 (up=7 down=5)"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
 }
 
 func TestRoundRobinCycles(t *testing.T) {

@@ -1,0 +1,378 @@
+package distmat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/quantile"
+)
+
+// sessionKind discriminates what a Session tracks.
+type sessionKind int
+
+const (
+	matrixKind sessionKind = iota
+	hhKind
+	quantileKind
+)
+
+func (k sessionKind) String() string {
+	switch k {
+	case matrixKind:
+		return "matrix"
+	case hhKind:
+		return "heavy-hitters"
+	case quantileKind:
+		return "quantile"
+	}
+	return "unknown"
+}
+
+// Session is the ingestion surface of the library: one tracker bound to one
+// site assigner, fed in batches, queried through immutable snapshots. It is
+// the single path the examples, the CLIs, and RunMatrix/RunHH use.
+//
+// A session has one of three kinds — matrix, heavy-hitters, or quantile —
+// fixed at construction. Batch ingestion goes through ProcessRows (matrix)
+// or ProcessItems (heavy-hitters and quantile; Elem is the quantile value);
+// malformed input returns an error instead of panicking. Sessions are not
+// safe for concurrent use; for a concurrent deployment see NewHHCluster,
+// NewMatrixCluster, and the TCP runtime.
+type Session struct {
+	kind  sessionKind
+	proto string
+	cfg   Config
+	asg   Assigner
+
+	mat MatrixTracker    // matrixKind
+	hhp HHProtocol       // hhKind
+	qt  *QuantileTracker // quantileKind
+
+	exact *Sym // exact Gram AᵀA, non-nil iff cfg.TrackExact on a matrix session
+	count int64
+}
+
+// adoptAssigner reconciles cfg.Sites with an explicit assigner before any
+// tracker is constructed, so the protocol and the assigner always agree on
+// m. An unset (default) site count adopts the assigner's; an explicitly
+// conflicting one is a configuration error, not a later panic.
+func adoptAssigner(c *Config) error {
+	if c.Assigner == nil {
+		return nil
+	}
+	m := c.Assigner.Sites()
+	if c.Sites == DefaultConfig().Sites || c.Sites == m {
+		c.Sites = m
+		return nil
+	}
+	return invalidConfigf("sites %d conflicts with the assigner's %d sites", c.Sites, m)
+}
+
+// finishSession fills the default assigner when none was supplied.
+func finishSession(s *Session) (*Session, error) {
+	if s.cfg.Assigner == nil {
+		if s.cfg.Sites < 1 {
+			return nil, invalidConfigf("need m ≥ 1 sites, got %d", s.cfg.Sites)
+		}
+		s.cfg.Assigner = NewUniformRandom(s.cfg.Sites, s.cfg.Seed)
+	}
+	s.asg = s.cfg.Assigner
+	return s, nil
+}
+
+// NewMatrixSession builds a matrix tracking session around the named
+// registered protocol. With WithWindow(w) the tracker is wrapped in the
+// tumbling-window construction covering the most recent ~w rows; with
+// WithExactTracking the session also maintains the exact Gram AᵀA for
+// evaluation.
+func NewMatrixSession(proto string, opts ...Option) (*Session, error) {
+	cfg := NewConfig(opts...)
+	if err := adoptAssigner(&cfg); err != nil {
+		return nil, err
+	}
+	tr, err := NewMatrixByName(proto, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Window > 0 {
+		inner := proto
+		tr = NewWindowedTracker(cfg.Window, func() MatrixTracker {
+			t, err := NewMatrixByName(inner, cfg)
+			if err != nil {
+				// cfg was validated by the first NewMatrixByName call.
+				panic(err)
+			}
+			return t
+		})
+	}
+	s := &Session{kind: matrixKind, proto: canonicalName(proto), cfg: cfg, mat: tr}
+	if cfg.TrackExact {
+		s.exact = matrix.NewSym(cfg.Dim)
+	}
+	return finishSession(s)
+}
+
+// WrapMatrixSession builds a matrix session around an existing tracker —
+// one the registry cannot name, e.g. a hand-built WindowedTracker or a
+// custom Tracker implementation. The tracker's dimension and ε are echoed
+// into the session's Config.
+func WrapMatrixSession(t MatrixTracker, opts ...Option) (*Session, error) {
+	cfg := NewConfig(opts...)
+	if err := adoptAssigner(&cfg); err != nil {
+		return nil, err
+	}
+	cfg.Dim, cfg.Epsilon = t.Dim(), t.Eps()
+	s := &Session{kind: matrixKind, proto: canonicalName(t.Name()), cfg: cfg, mat: t}
+	if cfg.TrackExact {
+		s.exact = matrix.NewSym(cfg.Dim)
+	}
+	return finishSession(s)
+}
+
+// NewHHSession builds a weighted heavy-hitters session around the named
+// registered protocol.
+func NewHHSession(proto string, opts ...Option) (*Session, error) {
+	cfg := NewConfig(opts...)
+	if err := adoptAssigner(&cfg); err != nil {
+		return nil, err
+	}
+	p, err := NewHHByName(proto, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{kind: hhKind, proto: canonicalName(proto), cfg: cfg, hhp: p}
+	return finishSession(s)
+}
+
+// WrapHHSession builds a heavy-hitters session around an existing protocol
+// instance. The protocol's ε is echoed into the session's Config.
+func WrapHHSession(p HHProtocol, opts ...Option) (*Session, error) {
+	cfg := NewConfig(opts...)
+	if err := adoptAssigner(&cfg); err != nil {
+		return nil, err
+	}
+	cfg.Epsilon = p.Eps()
+	s := &Session{kind: hhKind, proto: canonicalName(p.Name()), cfg: cfg, hhp: p}
+	return finishSession(s)
+}
+
+// NewQuantileSession builds a weighted quantile session; items' Elem field
+// carries the value, which must lie in [0, 2^Bits).
+func NewQuantileSession(opts ...Option) (*Session, error) {
+	cfg := NewConfig(opts...)
+	if err := adoptAssigner(&cfg); err != nil {
+		return nil, err
+	}
+	if err := cfg.validateQuantile(); err != nil {
+		return nil, err
+	}
+	s := &Session{kind: quantileKind, proto: "qdigest", cfg: cfg,
+		qt: quantile.NewTracker(cfg.Sites, cfg.Epsilon, cfg.Bits)}
+	return finishSession(s)
+}
+
+// Kind returns the session kind: "matrix", "heavy-hitters", or "quantile".
+func (s *Session) Kind() string { return s.kind.String() }
+
+// ProtocolName returns the canonical registry name of the session's
+// protocol (or the tracker's own name for wrapped sessions).
+func (s *Session) ProtocolName() string { return s.proto }
+
+// Config returns the session's configuration echo: the options it was
+// built with, with Sites and Assigner reconciled.
+func (s *Session) Config() Config { return s.cfg }
+
+// Count returns the number of rows or items ingested so far.
+func (s *Session) Count() int64 { return s.count }
+
+// Matrix returns the underlying matrix tracker, or nil for other kinds.
+func (s *Session) Matrix() MatrixTracker { return s.mat }
+
+// HH returns the underlying heavy-hitters protocol, or nil for other kinds.
+func (s *Session) HH() HHProtocol { return s.hhp }
+
+// Quantiles returns the underlying quantile tracker, or nil for other kinds.
+func (s *Session) Quantiles() *QuantileTracker { return s.qt }
+
+// Stats returns the communication tally so far.
+func (s *Session) Stats() Stats {
+	switch s.kind {
+	case matrixKind:
+		return s.mat.Stats()
+	case hhKind:
+		return s.hhp.Stats()
+	default:
+		return s.qt.Stats()
+	}
+}
+
+// ProcessRow ingests one matrix row, assigning it to a site.
+func (s *Session) ProcessRow(row []float64) error {
+	if s.kind != matrixKind {
+		return fmt.Errorf("%w: ProcessRow on a %s session", ErrWrongKind, s.kind)
+	}
+	if len(row) != s.cfg.Dim {
+		return fmt.Errorf("%w: row of length %d, want %d", ErrDimensionMismatch, len(row), s.cfg.Dim)
+	}
+	s.mat.ProcessRow(s.asg.Next(), row)
+	if s.exact != nil {
+		s.exact.AddOuter(1, row)
+	}
+	s.count++
+	return nil
+}
+
+// ProcessRows ingests a batch of matrix rows. On error the rows preceding
+// the offending one remain ingested; the error reports its index.
+func (s *Session) ProcessRows(rows [][]float64) error {
+	for i, row := range rows {
+		if err := s.ProcessRow(row); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ProcessItem ingests one weighted item: (element, weight) for
+// heavy-hitters sessions, (value, weight) for quantile sessions.
+func (s *Session) ProcessItem(it WeightedItem) error {
+	if it.Weight <= 0 {
+		return fmt.Errorf("%w: need positive weight, got %v", ErrInvalidItem, it.Weight)
+	}
+	switch s.kind {
+	case hhKind:
+		s.hhp.Process(s.asg.Next(), it.Elem, it.Weight)
+	case quantileKind:
+		if it.Elem >= uint64(1)<<s.cfg.Bits {
+			return fmt.Errorf("%w: value %d outside universe [0, 2^%d)", ErrInvalidItem, it.Elem, s.cfg.Bits)
+		}
+		s.qt.Process(s.asg.Next(), it.Elem, it.Weight)
+	default:
+		return fmt.Errorf("%w: ProcessItem on a %s session", ErrWrongKind, s.kind)
+	}
+	s.count++
+	return nil
+}
+
+// ProcessItems ingests a batch of weighted items. On error the items
+// preceding the offending one remain ingested; the error reports its index.
+func (s *Session) ProcessItems(items []WeightedItem) error {
+	for i, it := range items {
+		if err := s.ProcessItem(it); err != nil {
+			return fmt.Errorf("item %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Gram returns the live coordinator estimate BᵀB of a matrix session (not
+// a copy; take a Snapshot for an immutable view). Nil for other kinds.
+func (s *Session) Gram() *Sym {
+	if s.kind != matrixKind {
+		return nil
+	}
+	return s.mat.Gram()
+}
+
+// Exact returns the live exact Gram AᵀA of a matrix session built with
+// WithExactTracking, nil otherwise.
+func (s *Session) Exact() *Sym { return s.exact }
+
+// Covered returns how many of the most recent rows/items the current
+// estimate spans: the window coverage for windowed matrix sessions,
+// Count() for everything else.
+func (s *Session) Covered() int64 {
+	if w, ok := s.mat.(*WindowedTracker); ok {
+		return int64(w.Covered())
+	}
+	return s.count
+}
+
+// HeavyHitters applies the paper's query rule (return e iff
+// Ŵ_e/Ŵ ≥ φ − ε/2) to a heavy-hitters session.
+func (s *Session) HeavyHitters(phi float64) ([]WeightedElement, error) {
+	if s.kind != hhKind {
+		return nil, fmt.Errorf("%w: HeavyHitters on a %s session", ErrWrongKind, s.kind)
+	}
+	if phi <= 0 || phi > 1 {
+		return nil, fmt.Errorf("%w: need 0 < φ ≤ 1, got %v", ErrInvalidQuery, phi)
+	}
+	return HeavyHitters(s.hhp, phi), nil
+}
+
+// Estimate returns the coordinator's weight estimate Ŵ_e for element e on
+// a heavy-hitters session.
+func (s *Session) Estimate(elem uint64) (float64, error) {
+	if s.kind != hhKind {
+		return 0, fmt.Errorf("%w: Estimate on a %s session", ErrWrongKind, s.kind)
+	}
+	return s.hhp.Estimate(elem), nil
+}
+
+// Quantile returns the value at weighted rank φ·W (±εW) on a quantile
+// session.
+func (s *Session) Quantile(phi float64) (uint64, error) {
+	if s.kind != quantileKind {
+		return 0, fmt.Errorf("%w: Quantile on a %s session", ErrWrongKind, s.kind)
+	}
+	if phi < 0 || phi > 1 {
+		return 0, fmt.Errorf("%w: need 0 ≤ φ ≤ 1, got %v", ErrInvalidQuery, phi)
+	}
+	return s.qt.Quantile(phi), nil
+}
+
+// Snapshot is an immutable view of a session at one instant: the fields a
+// consumer reads never alias the session's live state, so a snapshot taken
+// before further ingestion stays valid.
+type Snapshot struct {
+	Protocol string // canonical protocol name
+	Kind     string // "matrix", "heavy-hitters", or "quantile"
+	Config   Config // configuration echo; Assigner is nil (live state)
+	Count    int64  // rows/items ingested when the snapshot was taken
+	Stats    Stats  // communication tally
+
+	// Matrix sessions.
+	Gram      *Sym    // copy of the coordinator's BᵀB estimate
+	Frobenius float64 // coordinator's estimate of ‖A‖²_F
+	Exact     *Sym    // copy of the exact AᵀA, if tracked
+
+	// Heavy-hitters and quantile sessions.
+	Estimates []WeightedElement // tracked elements, by descending estimate
+	Total     float64           // estimated total stream weight Ŵ
+}
+
+// Snapshot captures the session's current state. The returned value is
+// safe to retain and read after further ingestion.
+func (s *Session) Snapshot() Snapshot {
+	snap := Snapshot{
+		Protocol: s.proto,
+		Kind:     s.kind.String(),
+		Config:   s.cfg,
+		Count:    s.count,
+		Stats:    s.Stats(),
+	}
+	// The assigner is live, stateful session machinery — not part of the
+	// immutable view (Config.Sites already echoes its site count).
+	snap.Config.Assigner = nil
+	switch s.kind {
+	case matrixKind:
+		snap.Gram = s.mat.Gram().Clone()
+		snap.Frobenius = s.mat.EstimateFrobenius()
+		if s.exact != nil {
+			snap.Exact = s.exact.Clone()
+		}
+	case hhKind:
+		snap.Estimates = s.hhp.Candidates()
+		sort.Slice(snap.Estimates, func(i, j int) bool {
+			if snap.Estimates[i].Weight != snap.Estimates[j].Weight {
+				return snap.Estimates[i].Weight > snap.Estimates[j].Weight
+			}
+			return snap.Estimates[i].Elem < snap.Estimates[j].Elem
+		})
+		snap.Total = s.hhp.EstimateTotal()
+	case quantileKind:
+		snap.Total = s.qt.EstimateTotal()
+	}
+	return snap
+}

@@ -1,0 +1,32 @@
+# Developer entry points. CI runs the same steps (see .github/workflows).
+
+GO ?= go
+
+.PHONY: build test race bench experiments fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Reproducible perf artifact: rows/sec and messages-per-update for the
+# headline protocols, at quick scale by default. Override the scale with
+# BENCH_FLAGS (e.g. BENCH_FLAGS="" for the paper-scale streams).
+BENCH_FLAGS ?= -quick
+bench:
+	$(GO) run ./cmd/experiments $(BENCH_FLAGS) -bench-json BENCH_ingest.json
+	@cat BENCH_ingest.json
+
+# Full figure/table regeneration (minutes).
+experiments:
+	$(GO) run ./cmd/experiments
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,95 @@
+// Command distserve runs the multi-tenant continuous-tracking server: many
+// named trackers (matrix / heavy-hitters / quantile, any registered
+// protocol) behind an HTTP/JSON API, with sharded ingestion, per-tracker
+// communication metrics, and checkpointed recovery — restart the daemon on
+// the same -data directory and every persistable tracker resumes where it
+// left off.
+//
+// Usage:
+//
+//	distserve [-addr :9146] [-data DIR] [-checkpoint 30s]
+//	          [-shards N] [-queue N] [-quiet]
+//
+// See the README's "Running distserve" section for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9146", "HTTP listen address")
+		data    = flag.String("data", "distserve-data", "checkpoint directory (empty disables persistence)")
+		ckpt    = flag.Duration("checkpoint", 30*time.Second, "periodic checkpoint interval (0 disables)")
+		shards  = flag.Int("shards", 0, "ingestion workers per tracker (default 4)")
+		queue   = flag.Int("queue", 0, "per-shard queue depth in batches (default 16)")
+		timeout = flag.Duration("enqueue-timeout", 0, "backpressure bound before 503 (default 5s)")
+		quiet   = flag.Bool("quiet", false, "suppress operational logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "distserve: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	mgr, err := service.Open(service.Options{
+		DataDir:            *data,
+		CheckpointInterval: *ckpt,
+		Shards:             *shards,
+		QueueDepth:         *queue,
+		EnqueueTimeout:     *timeout,
+		Logf:               logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mgr.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logf("listening on %s (data=%q checkpoint=%v)", *addr, *data, *ckpt)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "distserve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logf("shutting down: draining HTTP, taking final checkpoint")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("HTTP shutdown: %v", err)
+	}
+	if err := mgr.Close(); err != nil {
+		logger.Printf("final checkpoint: %v", err)
+		os.Exit(1)
+	}
+	logf("bye")
+}

@@ -6,6 +6,11 @@
 //
 //	experiments [-quick] [-only fig1,table1,fig2,...] [-protocol p1,p2,...]
 //	            [-hh-n N] [-mat-n N] [-sites M] [-seed S] [-v]
+//	            [-bench-json FILE]
+//
+// -bench-json skips the figures and instead runs the ingestion benchmark,
+// writing rows/sec and messages-per-update per protocol to FILE (the
+// repo's `make bench` target emits BENCH_ingest.json this way).
 //
 // -protocol restricts every sweep to a comma-separated subset of the
 // registered protocol names (distmat.HHProtocols / distmat.MatrixProtocols);
@@ -59,6 +64,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override random seed")
 		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
 		plots    = flag.Bool("plot", false, "also render sweep tables as ASCII log-log charts")
+		benchOut = flag.String("bench-json", "", "run the ingestion benchmark and write its JSON document to this file instead of the figures")
 	)
 	flag.Parse()
 
@@ -96,6 +102,24 @@ func main() {
 	}
 
 	r := experiments.NewRunner(cfg)
+	if *benchOut != "" {
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := r.WriteIngestBenchJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+		return
+	}
 	wanted := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {

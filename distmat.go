@@ -64,7 +64,10 @@
 //     NewMatrix/NewHH (options) or NewMatrixByName/NewHHByName (a Config
 //     value), so protocol choice is data, e.g. a CLI's -protocol flag.
 //   - Sessions (session.go): batch ingestion over tracker+assigner with
-//     immutable Snapshots.
+//     immutable Snapshots, per-site ...At ingestion for deployments where
+//     the caller is the site, and checkpointing via SaveState /
+//     RestoreSession (persist.go) for the deterministic protocols —
+//     cmd/distserve serves all of this over HTTP.
 //
 // The original positional constructors (NewMatrixP2, NewHHP1, ...) remain
 // as deprecated panicking shims over the registry.

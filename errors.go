@@ -31,6 +31,16 @@ var (
 	// ErrInvalidQuery reports an out-of-range query parameter, e.g. a
 	// heavy-hitter threshold or quantile rank outside its domain.
 	ErrInvalidQuery = errors.New("distmat: invalid query")
+
+	// ErrInvalidSite reports an explicit site index outside [0, Sites).
+	ErrInvalidSite = errors.New("distmat: site out of range")
+
+	// ErrNotPersistable reports a session whose state cannot be saved:
+	// the underlying tracker is randomized or windowed (RNG and window
+	// phase cannot be re-seeded mid-stream), wrapped around a custom
+	// implementation, or bound to a custom Assigner. SaveState documents
+	// which registered protocols are persistable.
+	ErrNotPersistable = errors.New("distmat: session is not persistable")
 )
 
 // invalidConfig wraps a detailed validation failure in ErrInvalidConfig.

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/stream"
+)
+
+// Checkpoint/restore for the matrix P2 simulator, the paper's headline
+// protocol and the one a long-lived deployment hosts. The snapshot is a
+// plain exported struct (gob-encodable); a restored instance resumes
+// exactly where the snapshot was taken — same site Grams, same deferred-svd
+// bounds, same communication tally — preserving the continuous ε‖A‖²_F
+// guarantee. The sampling protocols (P3, P4) carry RNG state that cannot be
+// re-seeded mid-stream and are not persistable.
+
+// P2SiteSnapshot is the serializable state of one matrix P2 site.
+type P2SiteSnapshot struct {
+	Gram     []float64 // row-major d×d G_j
+	Fdelta   float64
+	LamBound float64
+	SoleRow  []float64 // nil unless the unsent matrix is exactly one row
+	Empty    bool
+}
+
+// P2Snapshot is the serializable state of a matrix P2 instance.
+type P2Snapshot struct {
+	M, D     int
+	Eps      float64
+	ShipFrac float64
+	Decomps  int64
+	Sites    []P2SiteSnapshot
+	// Coordinator state.
+	Gram      []float64 // row-major d×d BᵀB
+	CoordFhat float64
+	SiteFhat  float64
+	NMsg      int
+	Stats     stream.Stats
+}
+
+// Snapshot captures the protocol's state.
+func (p *P2) Snapshot() P2Snapshot {
+	sites := make([]P2SiteSnapshot, len(p.sites))
+	for i := range p.sites {
+		s := &p.sites[i]
+		var sole []float64
+		if s.soleRow != nil {
+			sole = append(sole, s.soleRow...)
+		}
+		sites[i] = P2SiteSnapshot{
+			Gram: s.gram.RawData(), Fdelta: s.fdelta, LamBound: s.lamBound,
+			SoleRow: sole, Empty: s.empty,
+		}
+	}
+	return P2Snapshot{
+		M: p.m, D: p.d, Eps: p.eps, ShipFrac: p.shipFrac, Decomps: p.decomps,
+		Sites: sites, Gram: p.gram.RawData(),
+		CoordFhat: p.coordFhat, SiteFhat: p.siteFhat, NMsg: p.nmsg,
+		Stats: p.acct.Stats(),
+	}
+}
+
+// RestoreP2 rebuilds a matrix P2 instance from a snapshot.
+func RestoreP2(snap P2Snapshot) (*P2, error) {
+	if err := CheckParams(snap.M, snap.Eps, snap.D); err != nil {
+		return nil, err
+	}
+	if snap.ShipFrac <= 0 || snap.ShipFrac > 1 {
+		return nil, fmt.Errorf("core: snapshot ship fraction %v outside (0, 1]", snap.ShipFrac)
+	}
+	if len(snap.Sites) != snap.M {
+		return nil, fmt.Errorf("core: snapshot has %d sites for m=%d", len(snap.Sites), snap.M)
+	}
+	restoreGram := func(data []float64) (*matrix.Sym, error) {
+		if len(data) != snap.D*snap.D {
+			return nil, fmt.Errorf("core: snapshot Gram has %d values for d=%d", len(data), snap.D)
+		}
+		// Bit-exact adoption: the deferred-svd bounds must see exactly the
+		// matrices the saved instance held.
+		return matrix.SymFromRaw(snap.D, data), nil
+	}
+	p := NewP2ShipFraction(snap.M, snap.Eps, snap.D, snap.ShipFrac)
+	gram, err := restoreGram(snap.Gram)
+	if err != nil {
+		return nil, err
+	}
+	p.gram = gram
+	p.coordFhat = snap.CoordFhat
+	p.siteFhat = snap.SiteFhat
+	p.nmsg = snap.NMsg
+	p.decomps = snap.Decomps
+	for i, s := range snap.Sites {
+		g, err := restoreGram(s.Gram)
+		if err != nil {
+			return nil, fmt.Errorf("core: site %d: %w", i, err)
+		}
+		if s.SoleRow != nil && len(s.SoleRow) != snap.D {
+			return nil, fmt.Errorf("core: site %d sole row has %d values for d=%d", i, len(s.SoleRow), snap.D)
+		}
+		p.sites[i].gram = g
+		p.sites[i].fdelta = s.Fdelta
+		p.sites[i].lamBound = s.LamBound
+		p.sites[i].soleRow = append([]float64(nil), s.SoleRow...)
+		if s.SoleRow == nil {
+			p.sites[i].soleRow = nil
+		}
+		p.sites[i].empty = s.Empty
+	}
+	p.acct.RestoreStats(snap.Stats)
+	return p, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	distmat "repro"
+)
+
+// Ingest benchmark: the reproducible perf artifact (BENCH_ingest.json)
+// that records the tracking hot path's throughput trajectory across PRs.
+// Unlike the figure sweeps — which measure the paper's *communication*
+// metric — this measures wall-clock rows/sec through the headline
+// protocols, plus the messages-per-update ratio tying the two together.
+
+// IngestResult is one benchmarked configuration.
+type IngestResult struct {
+	Problem  string  `json:"problem"`  // "heavy-hitters", "matrix", "quantile"
+	Protocol string  `json:"protocol"` // registry name
+	Sites    int     `json:"sites"`
+	Epsilon  float64 `json:"epsilon"`
+	Dim      int     `json:"dim,omitempty"`
+	N        int     `json:"n"` // rows/items ingested
+
+	Seconds           float64 `json:"seconds"`
+	RowsPerSec        float64 `json:"rows_per_sec"`
+	Messages          int64   `json:"messages"`
+	MessagesPerUpdate float64 `json:"messages_per_update"`
+}
+
+// IngestBenchDoc is the BENCH_ingest.json layout.
+type IngestBenchDoc struct {
+	GeneratedUnix int64          `json:"generated_unix"`
+	Results       []IngestResult `json:"results"`
+}
+
+// IngestBench runs the ingestion benchmark at the runner's configured
+// scales: the headline deterministic protocols for both problems plus the
+// quantile tracker, fed through the public Session path (the same path
+// the service layer drives).
+func (r *Runner) IngestBench() ([]IngestResult, error) {
+	cfg := r.cfg
+	items := distmat.ZipfStream(distmat.DefaultZipfConfig(cfg.HHItems))
+	rows := distmat.LowRankMatrix(distmat.PAMAPLike(cfg.MatRows))
+
+	var out []IngestResult
+
+	for _, proto := range []string{"p1", "p2"} {
+		sess, err := distmat.NewHHSession(proto,
+			distmat.WithSites(cfg.Sites), distmat.WithEpsilon(0.01), distmat.WithSeed(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := sess.ProcessItems(items); err != nil {
+			return nil, err
+		}
+		out = append(out, ingestResult("heavy-hitters", proto, sess, len(items), time.Since(start)))
+	}
+
+	for _, proto := range []string{"p1", "p2"} {
+		sess, err := distmat.NewMatrixSession(proto,
+			distmat.WithSites(cfg.Sites), distmat.WithEpsilon(0.1),
+			distmat.WithDim(44), distmat.WithSeed(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := sess.ProcessRows(rows); err != nil {
+			return nil, err
+		}
+		res := ingestResult("matrix", proto, sess, len(rows), time.Since(start))
+		res.Dim = 44
+		out = append(out, res)
+	}
+
+	qsess, err := distmat.NewQuantileSession(
+		distmat.WithSites(cfg.Sites), distmat.WithEpsilon(0.05),
+		distmat.WithBits(16), distmat.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	qitems := make([]distmat.WeightedItem, len(items))
+	for i, it := range items {
+		qitems[i] = distmat.WeightedItem{Elem: it.Elem % (1 << 16), Weight: it.Weight}
+	}
+	start := time.Now()
+	if err := qsess.ProcessItems(qitems); err != nil {
+		return nil, err
+	}
+	out = append(out, ingestResult("quantile", "qdigest", qsess, len(qitems), time.Since(start)))
+
+	return out, nil
+}
+
+func ingestResult(problem, proto string, sess *distmat.Session, n int, elapsed time.Duration) IngestResult {
+	stats := sess.Stats()
+	cfg := sess.Config()
+	res := IngestResult{
+		Problem: problem, Protocol: proto,
+		Sites: cfg.Sites, Epsilon: cfg.Epsilon, N: n,
+		Seconds:  elapsed.Seconds(),
+		Messages: stats.Total(),
+	}
+	if res.Seconds > 0 {
+		res.RowsPerSec = float64(n) / res.Seconds
+	}
+	if n > 0 {
+		res.MessagesPerUpdate = float64(stats.Total()) / float64(n)
+	}
+	return res
+}
+
+// WriteIngestBenchJSON runs the ingestion benchmark and writes the
+// BENCH_ingest.json document to w.
+func (r *Runner) WriteIngestBenchJSON(w io.Writer) error {
+	results, err := r.IngestBench()
+	if err != nil {
+		return fmt.Errorf("ingest bench: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(IngestBenchDoc{GeneratedUnix: time.Now().Unix(), Results: results})
+}

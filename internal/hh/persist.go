@@ -1,0 +1,119 @@
+package hh
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Checkpoint/restore for the single-process protocol simulators. Snapshots
+// are plain exported structs (gob-encodable); a restored protocol resumes
+// exactly where the snapshot was taken — same estimates, same thresholds,
+// same communication tally — preserving the continuous εW guarantee.
+// Deterministic protocols only: the sampling protocols (P3, P4) carry RNG
+// state that cannot be re-seeded mid-stream, so they are not persistable.
+
+// P2SiteSnapshot is the serializable state of one P2 site.
+type P2SiteSnapshot struct {
+	Weight float64
+	Delta  map[uint64]float64
+}
+
+// P2Snapshot is the serializable state of a heavy-hitters P2 instance.
+type P2Snapshot struct {
+	M     int
+	Eps   float64
+	Sites []P2SiteSnapshot
+	// Coordinator state.
+	CoordWhat float64
+	SiteWhat  float64
+	NMsg      int
+	Estimate  map[uint64]float64
+	Stats     stream.Stats
+}
+
+// Snapshotable reports whether Snapshot can serialize this instance: true
+// for the exact-delta P2, false for the SpaceSaving site-space variant,
+// whose bounded summaries are not snapshot-stable.
+func (p *P2) Snapshotable() bool { return p.sites[0].ss == nil }
+
+// Snapshot captures the protocol's state. It errors on the SpaceSaving
+// site-space variant, whose bounded summaries are not snapshot-stable.
+func (p *P2) Snapshot() (P2Snapshot, error) {
+	sites := make([]P2SiteSnapshot, len(p.sites))
+	for i := range p.sites {
+		if p.sites[i].ss != nil {
+			return P2Snapshot{}, fmt.Errorf("hh: the SpaceSaving P2 variant is not persistable")
+		}
+		delta := make(map[uint64]float64, len(p.sites[i].delta))
+		for e, w := range p.sites[i].delta {
+			delta[e] = w
+		}
+		sites[i] = P2SiteSnapshot{Weight: p.sites[i].weight, Delta: delta}
+	}
+	est := make(map[uint64]float64, len(p.estimate))
+	for e, w := range p.estimate {
+		est[e] = w
+	}
+	return P2Snapshot{
+		M: p.m, Eps: p.eps, Sites: sites,
+		CoordWhat: p.coordWhat, SiteWhat: p.siteWhat, NMsg: p.nmsg,
+		Estimate: est, Stats: p.acct.Stats(),
+	}, nil
+}
+
+// RestoreP2 rebuilds a heavy-hitters P2 instance from a snapshot.
+func RestoreP2(snap P2Snapshot) (*P2, error) {
+	if err := CheckParams(snap.M, snap.Eps); err != nil {
+		return nil, err
+	}
+	if len(snap.Sites) != snap.M {
+		return nil, fmt.Errorf("hh: snapshot has %d sites for m=%d", len(snap.Sites), snap.M)
+	}
+	p := NewP2(snap.M, snap.Eps)
+	p.coordWhat = snap.CoordWhat
+	p.siteWhat = snap.SiteWhat
+	p.nmsg = snap.NMsg
+	for e, w := range snap.Estimate {
+		p.estimate[e] = w
+	}
+	for i, s := range snap.Sites {
+		p.sites[i].weight = s.Weight
+		for e, w := range s.Delta {
+			p.sites[i].delta[e] = w
+		}
+	}
+	p.acct.RestoreStats(snap.Stats)
+	return p, nil
+}
+
+// ExactSnapshot is the serializable state of the exact tracker.
+type ExactSnapshot struct {
+	M     int
+	Freq  map[uint64]float64
+	Total float64
+	Stats stream.Stats
+}
+
+// Snapshot captures the tracker's state.
+func (e *Exact) Snapshot() ExactSnapshot {
+	freq := make(map[uint64]float64, len(e.freq))
+	for el, w := range e.freq {
+		freq[el] = w
+	}
+	return ExactSnapshot{M: e.m, Freq: freq, Total: e.total, Stats: e.acct.Stats()}
+}
+
+// RestoreExact rebuilds an exact tracker from a snapshot.
+func RestoreExact(snap ExactSnapshot) (*Exact, error) {
+	if err := stream.CheckSites(snap.M); err != nil {
+		return nil, fmt.Errorf("hh: %w", err)
+	}
+	e := NewExact(snap.M)
+	for el, w := range snap.Freq {
+		e.freq[el] = w
+	}
+	e.total = snap.Total
+	e.acct.RestoreStats(snap.Stats)
+	return e, nil
+}

@@ -193,6 +193,19 @@ func SymFromData(d int, data []float64) *Sym {
 	return s
 }
 
+// SymFromRaw adopts RawData output verbatim, without SymFromData's
+// defensive symmetrization. Accumulated Syms can be asymmetric in the last
+// ulp (AddOuter computes (w·aᵢ)·aⱼ against (w·aⱼ)·aᵢ), so checkpoint
+// restore uses this to keep a snapshot round-trip bit-exact.
+func SymFromRaw(d int, data []float64) *Sym {
+	if len(data) != d*d {
+		panic(fmt.Sprintf("matrix: %d values for a %d×%d symmetric matrix", len(data), d, d))
+	}
+	s := NewSym(d)
+	copy(s.data, data)
+	return s
+}
+
 // Gram returns AᵀA for a row matrix A.
 func Gram(a *Dense) *Sym {
 	g := NewSym(a.cols)

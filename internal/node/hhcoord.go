@@ -22,6 +22,7 @@ type HHCoordinator struct {
 	estimate map[uint64]float64
 	received int64
 	bcasts   int64
+	history  []float64 // every broadcast Ŵ, oldest first
 
 	broadcast Sender // fan-out to all sites (transport's responsibility)
 }
@@ -56,6 +57,7 @@ func (c *HHCoordinator) Handle(m Message) error {
 		if c.nmsg >= c.m {
 			c.nmsg = 0
 			c.bcasts++
+			c.history = append(c.history, c.what)
 			toSend = &Message{Kind: KindEstimate, Value: c.what}
 		}
 	case KindElement:
@@ -123,4 +125,12 @@ func (c *HHCoordinator) Broadcasts() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.bcasts
+}
+
+// EstimateHistory returns every broadcast Ŵ in order, the estimate's
+// growth trajectory (one entry per broadcast, so O((1/ε)·log W) entries).
+func (c *HHCoordinator) EstimateHistory() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.history...)
 }

@@ -22,6 +22,7 @@ type MatCoordinator struct {
 	gram     *matrix.Sym
 	received int64
 	bcasts   int64
+	history  []float64 // every broadcast F̂, oldest first
 
 	broadcast Sender
 }
@@ -60,6 +61,7 @@ func (c *MatCoordinator) Handle(m Message) error {
 		if c.nmsg >= c.m {
 			c.nmsg = 0
 			c.bcasts++
+			c.history = append(c.history, c.fhat)
 			toSend = &Message{Kind: KindEstimate, Value: c.fhat}
 		}
 	case KindRow:
@@ -107,4 +109,12 @@ func (c *MatCoordinator) Broadcasts() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.bcasts
+}
+
+// EstimateHistory returns every broadcast F̂ in order, the estimate's
+// growth trajectory (one entry per broadcast, so O((1/ε)·log F) entries).
+func (c *MatCoordinator) EstimateHistory() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.history...)
 }

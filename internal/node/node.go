@@ -1,9 +1,17 @@
-// Package node is the deployable runtime for the paper's headline
-// protocols: thread-safe site and coordinator state machines for weighted
-// heavy hitters P2 and matrix tracking P2, decoupled from any transport,
-// plus two transports — in-process (direct calls from concurrent feeder
-// goroutines) and TCP with gob framing (cmd/distdemo shows a full
-// deployment on loopback).
+// Package node is the deployable runtime for the paper's protocols:
+// thread-safe site and coordinator state machines for weighted heavy
+// hitters P2, matrix tracking P2, and the sampling protocol P3 (P3Site /
+// P3Coordinator), decoupled from any transport, plus two transports —
+// in-process (direct calls from concurrent feeder goroutines) and TCP with
+// gob framing (cmd/distdemo shows a full deployment on loopback).
+//
+// Every deterministic runtime half is checkpointable: persist.go defines
+// gob-encodable snapshots (including the coordinators' broadcast-estimate
+// history) with Restore constructors, and its WriteSnapshot/ReadSnapshot
+// helpers serve any snapshot type — the single-process simulators
+// (internal/core P2, internal/hh P2/Exact, internal/quantile's tracker)
+// expose matching Snapshot/Restore pairs that internal/service's
+// checkpointer writes through the same helpers.
 //
 // The sequential simulator in internal/hh and internal/core remains the
 // vehicle for the paper's experiments (it counts messages exactly and is

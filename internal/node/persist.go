@@ -64,6 +64,7 @@ type HHCoordinatorSnapshot struct {
 	Estimate map[uint64]float64
 	Received int64
 	Bcasts   int64
+	History  []float64 // broadcast Ŵ trajectory, oldest first
 }
 
 // Snapshot captures the coordinator's state.
@@ -77,6 +78,7 @@ func (c *HHCoordinator) Snapshot() HHCoordinatorSnapshot {
 	return HHCoordinatorSnapshot{
 		M: c.m, Eps: c.eps, What: c.what, NMsg: c.nmsg,
 		Estimate: est, Received: c.received, Bcasts: c.bcasts,
+		History: append([]float64(nil), c.history...),
 	}
 }
 
@@ -90,6 +92,7 @@ func RestoreHHCoordinator(snap HHCoordinatorSnapshot, broadcast Sender) (*HHCoor
 	c.nmsg = snap.NMsg
 	c.received = snap.Received
 	c.bcasts = snap.Bcasts
+	c.history = append([]float64(nil), snap.History...)
 	for k, v := range snap.Estimate {
 		c.estimate[k] = v
 	}
@@ -147,6 +150,7 @@ type MatCoordinatorSnapshot struct {
 	Gram     []float64
 	Received int64
 	Bcasts   int64
+	History  []float64 // broadcast F̂ trajectory, oldest first
 }
 
 // Snapshot captures the coordinator's state.
@@ -156,6 +160,7 @@ func (c *MatCoordinator) Snapshot() MatCoordinatorSnapshot {
 	return MatCoordinatorSnapshot{
 		M: c.m, D: c.d, Eps: c.eps, Fhat: c.fhat, NMsg: c.nmsg,
 		Gram: c.gram.RawData(), Received: c.received, Bcasts: c.bcasts,
+		History: append([]float64(nil), c.history...),
 	}
 }
 
@@ -173,6 +178,7 @@ func RestoreMatCoordinator(snap MatCoordinatorSnapshot, broadcast Sender) (*MatC
 	c.gram = matrix.SymFromData(snap.D, snap.Gram)
 	c.received = snap.Received
 	c.bcasts = snap.Bcasts
+	c.history = append([]float64(nil), snap.History...)
 	return c, nil
 }
 

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	distmat "repro"
+)
+
+// A checkpoint file is one gob-encoded envelope per tracker, written
+// atomically (temp file + rename) as <DataDir>/<name>.ckpt. The envelope
+// carries the Spec for presentation; the session payload is the facade's
+// SaveState stream, which is what actually restores the tracker.
+
+const checkpointExt = ".ckpt"
+
+// envelope is the on-disk checkpoint layout.
+type envelope struct {
+	Version int
+	Name    string
+	Spec    Spec
+	State   []byte // distmat.(*Session).SaveState output
+}
+
+const envelopeVersion = 1
+
+func (m *Manager) checkpointPath(name string) string {
+	return filepath.Join(m.opts.DataDir, name+checkpointExt)
+}
+
+// checkpointLoop periodically checkpoints dirty trackers until Close.
+func (m *Manager) checkpointLoop() {
+	defer m.ckptWG.Done()
+	ticker := time.NewTicker(m.opts.CheckpointInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := m.checkpointDirty(); err != nil {
+				m.opts.Logf("checkpoint: %v", err)
+			}
+		case <-m.stopCkpt:
+			return
+		}
+	}
+}
+
+// checkpointDirty checkpoints every persistable tracker that changed since
+// its last checkpoint (or that has never been written).
+func (m *Manager) checkpointDirty() error {
+	var errs []error
+	for _, t := range m.List() {
+		t.mu.Lock()
+		skip := !t.dirty && t.lastCkpt.Load() != 0
+		t.mu.Unlock()
+		if skip {
+			continue
+		}
+		if err := m.checkpointTracker(t); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", t.name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Checkpoint saves the named tracker now.
+func (m *Manager) Checkpoint(name string) error {
+	t, err := m.Get(name)
+	if err != nil {
+		return err
+	}
+	return m.checkpointTracker(t)
+}
+
+// CheckpointAll saves every persistable tracker now, joining any errors.
+func (m *Manager) CheckpointAll() error {
+	var errs []error
+	for _, t := range m.List() {
+		if err := m.checkpointTracker(t); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", t.name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// checkpointTracker serializes one tracker to its checkpoint file. Not
+// persistable, no data dir, or a tracker stopped mid-flight (deleted) is a
+// silent no-op (the status is visible in /metrics); anything else is an
+// error, also recorded on the tracker.
+func (m *Manager) checkpointTracker(t *Tracker) error {
+	if m.opts.DataDir == "" || !t.persistable {
+		return nil
+	}
+	// ckptMu spans serialize→rename: concurrent checkpointers (ticker,
+	// HTTP, Close) cannot interleave a stale rename over newer state, and
+	// Delete (which marks the tracker deleted, then removes the file
+	// under the same mutex) cannot have its checkpoint file resurrected.
+	// Closed-but-not-deleted trackers still checkpoint — Manager.Close
+	// stops the workers first and checkpoints after, so every
+	// acknowledged batch is persisted.
+	t.ckptMu.Lock()
+	defer t.ckptMu.Unlock()
+	if t.deleted.Load() {
+		return nil
+	}
+	// Serialize under the tracker lock so the snapshot is a consistent
+	// instant; write the file outside it.
+	t.mu.Lock()
+	var state bytes.Buffer
+	err := t.sess.SaveState(&state)
+	if err == nil {
+		t.dirty = false
+	}
+	t.mu.Unlock()
+	if err == nil {
+		err = writeFileAtomic(m.checkpointPath(t.name), envelope{
+			Version: envelopeVersion, Name: t.name, Spec: t.spec, State: state.Bytes(),
+		})
+	}
+	if err != nil {
+		t.ckptErr.Store(err.Error())
+		t.mu.Lock()
+		t.dirty = true
+		t.mu.Unlock()
+		return err
+	}
+	t.ckptErr.Store("")
+	t.lastCkpt.Store(time.Now().UnixNano())
+	m.opts.Logf("checkpointed %s (%d rows/items)", t.name, t.Count())
+	return nil
+}
+
+// writeFileAtomic gob-encodes env into path via a temp file + fsync +
+// rename (+ directory fsync), so a crash mid-write never corrupts the
+// previous checkpoint and a completed rename is durable.
+func writeFileAtomic(path string, env envelope) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := gob.NewEncoder(tmp).Encode(env); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Make the rename itself durable; best-effort on filesystems that
+		// reject directory fsync.
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// restoreAll loads every checkpoint in the data directory into fresh
+// trackers. A file that fails to restore is an error: silently dropping
+// state would break the continuous guarantee the checkpoints exist for.
+func (m *Manager) restoreAll() error {
+	entries, err := os.ReadDir(m.opts.DataDir)
+	if err != nil {
+		return fmt.Errorf("service: reading data dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), checkpointExt) {
+			continue
+		}
+		path := filepath.Join(m.opts.DataDir, e.Name())
+		t, err := m.restoreOne(path)
+		if err != nil {
+			return fmt.Errorf("service: restoring %s: %w", e.Name(), err)
+		}
+		m.trackers[t.name] = t
+		m.opts.Logf("restored %s (%s %s, %d rows/items)", t.name, t.spec.Kind, t.spec.Protocol, t.Count())
+	}
+	return nil
+}
+
+// restoreOne loads one checkpoint file.
+func (m *Manager) restoreOne(path string) (*Tracker, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var env envelope
+	if err := gob.NewDecoder(f).Decode(&env); err != nil {
+		return nil, fmt.Errorf("decoding envelope: %w", err)
+	}
+	if env.Version != envelopeVersion {
+		return nil, fmt.Errorf("checkpoint version %d, want %d", env.Version, envelopeVersion)
+	}
+	if err := CheckName(env.Name); err != nil {
+		return nil, err
+	}
+	if want := strings.TrimSuffix(filepath.Base(path), checkpointExt); env.Name != want {
+		return nil, fmt.Errorf("checkpoint names tracker %q, file says %q", env.Name, want)
+	}
+	sess, err := distmat.RestoreSession(bytes.NewReader(env.State))
+	if err != nil {
+		return nil, err
+	}
+	t := newTracker(env.Name, env.Spec, sess, m.opts.Shards, m.opts.QueueDepth, m.opts.EnqueueTimeout)
+	if info, err := os.Stat(path); err == nil {
+		t.lastCkpt.Store(info.ModTime().UnixNano())
+	}
+	return t, nil
+}

@@ -1,0 +1,380 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	distmat "repro"
+)
+
+// maxBodyBytes bounds an ingest request body (64 MiB ≈ 90k rows at d=90).
+const maxBodyBytes = 64 << 20
+
+// Handler returns the manager's HTTP/JSON surface (see the package
+// comment for the route table).
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Metrics())
+	})
+	mux.HandleFunc("GET /trackers", m.handleList)
+	mux.HandleFunc("PUT /trackers/{name}", m.handleCreate)
+	mux.HandleFunc("GET /trackers/{name}", m.handleStatus)
+	mux.HandleFunc("DELETE /trackers/{name}", m.handleDelete)
+	mux.HandleFunc("POST /trackers/{name}/rows", m.handleIngestRows)
+	mux.HandleFunc("POST /trackers/{name}/items", m.handleIngestItems)
+	mux.HandleFunc("GET /trackers/{name}/query", m.handleQuery)
+	mux.HandleFunc("POST /trackers/{name}/checkpoint", m.handleCheckpoint)
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps service and facade errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadName),
+		errors.Is(err, distmat.ErrInvalidConfig),
+		errors.Is(err, distmat.ErrUnknownProtocol),
+		errors.Is(err, distmat.ErrWrongKind),
+		errors.Is(err, distmat.ErrDimensionMismatch),
+		errors.Is(err, distmat.ErrInvalidItem),
+		errors.Is(err, distmat.ErrInvalidSite),
+		errors.Is(err, distmat.ErrInvalidQuery),
+		errors.Is(err, distmat.ErrNotPersistable),
+		errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// errBadRequest marks malformed request bodies and parameters.
+var errBadRequest = errors.New("service: bad request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
+}
+
+// decodeBody strictly decodes a JSON body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequestf("decoding body: %v", err)
+	}
+	return nil
+}
+
+// trackerStatus is the GET /trackers and GET /trackers/{name} row.
+type trackerStatus struct {
+	Name               string `json:"name"`
+	Spec               Spec   `json:"spec"`
+	Count              int64  `json:"count"`
+	Persistable        bool   `json:"persistable"`
+	LastCheckpointUnix int64  `json:"last_checkpoint_unix,omitempty"`
+	CheckpointError    string `json:"checkpoint_error,omitempty"`
+}
+
+func statusOf(t *Tracker) trackerStatus {
+	at, errStr := t.LastCheckpoint()
+	st := trackerStatus{
+		Name:            t.Name(),
+		Spec:            t.Spec(),
+		Count:           t.Count(),
+		Persistable:     t.Persistable(),
+		CheckpointError: errStr,
+	}
+	if !at.IsZero() {
+		st.LastCheckpointUnix = at.Unix()
+	}
+	return st
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	trackers := m.List()
+	out := make([]trackerStatus, len(trackers))
+	for i, t := range trackers {
+		out[i] = statusOf(t)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trackers": out})
+}
+
+func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := decodeBody(w, r, &spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	t, err := m.Create(r.PathValue("name"), spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, statusOf(t))
+}
+
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	t, err := m.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(t))
+}
+
+func (m *Manager) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := m.Delete(r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": true})
+}
+
+// siteOf resolves the optional site field (nil → assigner). An explicit
+// negative site is rejected here rather than mapped onto the AssignSite
+// sentinel, so it 400s like any other out-of-range site.
+func siteOf(site *int) (int, error) {
+	if site == nil {
+		return AssignSite, nil
+	}
+	if *site < 0 {
+		return 0, fmt.Errorf("%w: site %d", distmat.ErrInvalidSite, *site)
+	}
+	return *site, nil
+}
+
+// rowsRequest is the POST rows body. Site, when present, is the explicit
+// origin site (the caller is the site, per the paper's model); absent, the
+// session's assigner deals rows out.
+type rowsRequest struct {
+	Site *int        `json:"site"`
+	Rows [][]float64 `json:"rows"`
+}
+
+func (m *Manager) handleIngestRows(w http.ResponseWriter, r *http.Request) {
+	t, err := m.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req rowsRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeErr(w, badRequestf("empty rows batch"))
+		return
+	}
+	site, err := siteOf(req.Site)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := t.IngestRows(r.Context(), site, req.Rows); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ingested": len(req.Rows), "count": t.Count()})
+}
+
+// itemJSON is one weighted item; "elem" and "value" are aliases (the
+// quantile kind reads the value universe, the heavy-hitters kind an
+// element label). Weight defaults to 1.
+type itemJSON struct {
+	Elem   *uint64  `json:"elem"`
+	Value  *uint64  `json:"value"`
+	Weight *float64 `json:"weight"`
+}
+
+type itemsRequest struct {
+	Site  *int       `json:"site"`
+	Items []itemJSON `json:"items"`
+}
+
+func (m *Manager) handleIngestItems(w http.ResponseWriter, r *http.Request) {
+	t, err := m.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req itemsRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeErr(w, badRequestf("empty items batch"))
+		return
+	}
+	items := make([]distmat.WeightedItem, len(req.Items))
+	for i, it := range req.Items {
+		switch {
+		case it.Elem != nil && it.Value != nil:
+			writeErr(w, badRequestf("item %d sets both elem and value", i))
+			return
+		case it.Elem != nil:
+			items[i].Elem = *it.Elem
+		case it.Value != nil:
+			items[i].Elem = *it.Value
+		default:
+			writeErr(w, badRequestf("item %d has neither elem nor value", i))
+			return
+		}
+		items[i].Weight = 1
+		if it.Weight != nil {
+			items[i].Weight = *it.Weight
+		}
+	}
+	site, err := siteOf(req.Site)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := t.IngestItems(r.Context(), site, items); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ingested": len(items), "count": t.Count()})
+}
+
+// phisOf parses the repeated φ query parameter.
+func phisOf(r *http.Request, def []float64) ([]float64, error) {
+	raw := r.URL.Query()["phi"]
+	if len(raw) == 0 {
+		return def, nil
+	}
+	out := make([]float64, len(raw))
+	for i, s := range raw {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, badRequestf("phi %q: %v", s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (m *Manager) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t, err := m.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	switch t.Kind() {
+	case KindMatrix:
+		snap := t.Snapshot()
+		resp := map[string]any{
+			"kind":      KindMatrix,
+			"count":     snap.Count,
+			"frobenius": snap.Frobenius,
+			"trace":     snap.Gram.Trace(),
+		}
+		if r.URL.Query().Get("gram") == "1" {
+			d := snap.Gram.Dim()
+			gram := make([][]float64, d)
+			for i := range gram {
+				gram[i] = make([]float64, d)
+				for j := range gram[i] {
+					gram[i][j] = snap.Gram.At(i, j)
+				}
+			}
+			resp["gram"] = gram
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case KindHH:
+		phis, err := phisOf(r, nil)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if len(phis) != 1 {
+			writeErr(w, badRequestf("heavy-hitters query needs exactly one phi parameter"))
+			return
+		}
+		hits, err := t.HeavyHitters(phis[0])
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		type hit struct {
+			Elem   uint64  `json:"elem"`
+			Weight float64 `json:"weight"`
+		}
+		out := make([]hit, len(hits))
+		for i, h := range hits {
+			out[i] = hit{Elem: h.Elem, Weight: h.Weight}
+		}
+		snap := t.Snapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"kind": KindHH, "count": snap.Count, "phi": phis[0],
+			"total": snap.Total, "heavy_hitters": out,
+		})
+	default: // KindQuantile
+		phis, err := phisOf(r, []float64{0.5})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		type qv struct {
+			Phi   float64 `json:"phi"`
+			Value uint64  `json:"value"`
+		}
+		out := make([]qv, len(phis))
+		for i, phi := range phis {
+			v, err := t.Quantile(phi)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			out[i] = qv{Phi: phi, Value: v}
+		}
+		snap := t.Snapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"kind": KindQuantile, "count": snap.Count,
+			"total": snap.Total, "quantiles": out,
+		})
+	}
+}
+
+func (m *Manager) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	t, err := m.Get(name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !t.Persistable() {
+		writeErr(w, fmt.Errorf("%w: tracker %q is not persistable", distmat.ErrNotPersistable, name))
+		return
+	}
+	if m.opts.DataDir == "" {
+		writeErr(w, badRequestf("manager has no data directory"))
+		return
+	}
+	if err := m.Checkpoint(name); err != nil {
+		writeErr(w, err)
+		return
+	}
+	at, _ := t.LastCheckpoint()
+	writeJSON(w, http.StatusOK, map[string]any{"checkpointed": true, "at_unix": at.Unix()})
+}

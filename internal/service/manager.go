@@ -1,0 +1,210 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures a Manager. The zero value of every field takes the
+// documented default.
+type Options struct {
+	// DataDir is the checkpoint directory, created if absent. Empty
+	// disables persistence entirely (no checkpoints, no restore).
+	DataDir string
+
+	// CheckpointInterval is the period of the background checkpoint loop.
+	// 0 disables periodic checkpointing (explicit Checkpoint calls and the
+	// final Close checkpoint still run).
+	CheckpointInterval time.Duration
+
+	// Shards is the number of ingestion workers per tracker (default 4).
+	Shards int
+
+	// QueueDepth is the per-shard buffered-channel capacity, in batches
+	// (default 16).
+	QueueDepth int
+
+	// EnqueueTimeout bounds how long an ingest waits for queue space
+	// before ErrBusy (default 5s).
+	EnqueueTimeout time.Duration
+
+	// Logf, when set, receives operational log lines (checkpoint results,
+	// restores). Default: silent.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.EnqueueTimeout <= 0 {
+		o.EnqueueTimeout = 5 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Manager hosts named trackers: creation from Specs, sharded ingestion,
+// checkpointing, and the HTTP surface. Safe for concurrent use.
+type Manager struct {
+	opts  Options
+	start time.Time
+
+	mu       sync.RWMutex
+	trackers map[string]*Tracker
+	closed   bool
+
+	stopCkpt chan struct{}
+	ckptWG   sync.WaitGroup
+}
+
+// Open builds a Manager. When opts.DataDir is set it is created if needed
+// and every checkpoint in it is restored, so a restarted process resumes
+// all persistable trackers; with a CheckpointInterval the background
+// checkpoint loop starts too.
+func Open(opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	m := &Manager{
+		opts:     opts,
+		start:    time.Now(),
+		trackers: make(map[string]*Tracker),
+		stopCkpt: make(chan struct{}),
+	}
+	if opts.DataDir != "" {
+		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: data dir: %w", err)
+		}
+		if err := m.restoreAll(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.DataDir != "" && opts.CheckpointInterval > 0 {
+		m.ckptWG.Add(1)
+		go m.checkpointLoop()
+	}
+	return m, nil
+}
+
+// Create builds a tracker from a Spec and registers it under name.
+func (m *Manager) Create(name string, spec Spec) (*Tracker, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
+	spec, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+	// Echo the reconciled configuration back into the spec so GET
+	// /trackers shows the effective parameters, not the elided zeroes.
+	cfg := sess.Config()
+	spec.Sites, spec.Epsilon, spec.Seed = cfg.Sites, cfg.Epsilon, cfg.Seed
+	if spec.Kind == KindMatrix {
+		spec.Dim = cfg.Dim
+	}
+	if spec.Kind == KindQuantile {
+		spec.Bits = cfg.Bits
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := m.trackers[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	t := newTracker(name, spec, sess, m.opts.Shards, m.opts.QueueDepth, m.opts.EnqueueTimeout)
+	m.trackers[name] = t
+	return t, nil
+}
+
+// Get returns the named tracker.
+func (m *Manager) Get(name string) (*Tracker, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.trackers[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return t, nil
+}
+
+// List returns every tracker, sorted by name.
+func (m *Manager) List() []*Tracker {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Tracker, 0, len(m.trackers))
+	for _, t := range m.trackers {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Delete stops the named tracker, removes it, and deletes its checkpoint
+// file.
+func (m *Manager) Delete(name string) error {
+	m.mu.Lock()
+	t, ok := m.trackers[name]
+	if ok {
+		delete(m.trackers, name)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	// Mark deleted before stopping: checkpointTracker skips deleted
+	// trackers, and ckptMu orders the file removal below after any
+	// checkpoint already in flight.
+	t.deleted.Store(true)
+	t.close()
+	if m.opts.DataDir != "" {
+		t.ckptMu.Lock()
+		err := os.Remove(m.checkpointPath(name))
+		t.ckptMu.Unlock()
+		if err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("service: removing checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// Uptime returns how long the manager has been open.
+func (m *Manager) Uptime() time.Duration { return time.Since(m.start) }
+
+// Close stops the checkpoint loop, takes a final checkpoint of every
+// persistable tracker, and stops all trackers. The manager rejects new
+// work afterwards.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	close(m.stopCkpt)
+	m.ckptWG.Wait()
+
+	// Stop workers before the final checkpoint: once close returns, every
+	// batch that was acknowledged has been applied, so the checkpoint
+	// below persists all acked ingestion. Feeders still in flight get
+	// ErrClosed (not acked) and must retry after restart.
+	for _, t := range m.List() {
+		t.close()
+	}
+	return m.CheckpointAll()
+}

@@ -1,0 +1,90 @@
+package service
+
+import "time"
+
+// TrackerMetrics is one tracker's row in the /metrics document: the
+// communication Stats the paper measures (up/down messages with the
+// size-weighted unit split), ingest throughput, queue depth, and
+// checkpoint status.
+type TrackerMetrics struct {
+	Kind     string `json:"kind"`
+	Protocol string `json:"protocol"`
+
+	Count    int64 `json:"count"`    // total rows/items in the session
+	Ingested int64 `json:"ingested"` // applied since create/restore
+	Rejected int64 `json:"rejected"` // batches refused by backpressure
+	QueueLen int   `json:"queue_len"`
+
+	UpMsgs     int64 `json:"up_msgs"`
+	DownMsgs   int64 `json:"down_msgs"`
+	Broadcasts int64 `json:"broadcasts"`
+	UpUnits    int64 `json:"up_units"`
+	DownUnits  int64 `json:"down_units"`
+
+	// MessagesPerUpdate is the headline efficiency ratio: total messages
+	// divided by rows/items ingested (0 when empty).
+	MessagesPerUpdate float64 `json:"messages_per_update"`
+
+	// IngestPerSec is rows/items applied per second of tracker lifetime.
+	IngestPerSec float64 `json:"ingest_per_sec"`
+
+	Persistable        bool   `json:"persistable"`
+	LastCheckpointUnix int64  `json:"last_checkpoint_unix,omitempty"`
+	CheckpointError    string `json:"checkpoint_error,omitempty"`
+}
+
+// Metrics is the /metrics document.
+type Metrics struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Trackers      map[string]TrackerMetrics `json:"trackers"`
+}
+
+// metrics assembles one tracker's row. Safe during ingestion: counters are
+// atomic and the communication accountant is mutex-guarded.
+func (t *Tracker) metrics() TrackerMetrics {
+	stats := t.Stats()
+	count := t.Count()
+	tm := TrackerMetrics{
+		Kind:     t.spec.Kind,
+		Protocol: t.spec.Protocol,
+
+		Count:    count,
+		Ingested: t.ingested.Load(),
+		Rejected: t.rejected.Load(),
+		QueueLen: t.QueueLen(),
+
+		UpMsgs:     stats.UpMsgs,
+		DownMsgs:   stats.DownMsgs,
+		Broadcasts: stats.Broadcasts,
+		UpUnits:    stats.UpUnits,
+		DownUnits:  stats.DownUnits,
+
+		Persistable: t.persistable,
+	}
+	if count > 0 {
+		tm.MessagesPerUpdate = float64(stats.Total()) / float64(count)
+	}
+	if alive := time.Since(t.created).Seconds(); alive > 0 {
+		tm.IngestPerSec = float64(tm.Ingested) / alive
+	}
+	if at, errStr := t.LastCheckpoint(); !at.IsZero() || errStr != "" {
+		tm.LastCheckpointUnix = at.Unix()
+		tm.CheckpointError = errStr
+		if at.IsZero() {
+			tm.LastCheckpointUnix = 0
+		}
+	}
+	return tm
+}
+
+// Metrics assembles the full /metrics document.
+func (m *Manager) Metrics() Metrics {
+	out := Metrics{
+		UptimeSeconds: m.Uptime().Seconds(),
+		Trackers:      make(map[string]TrackerMetrics),
+	}
+	for _, t := range m.List() {
+		out.Trackers[t.name] = t.metrics()
+	}
+	return out
+}

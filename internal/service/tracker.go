@@ -1,0 +1,261 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	distmat "repro"
+)
+
+// AssignSite routes a batch through the session's site assigner (the
+// paper's arrival model) instead of an explicit site.
+const AssignSite = -1
+
+// ingestReq is one enqueued batch. Exactly one of rows/items is set; done
+// (buffered) receives the apply result.
+type ingestReq struct {
+	site  int // explicit site, or AssignSite
+	rows  [][]float64
+	items []distmat.WeightedItem
+	done  chan error
+}
+
+// Tracker is one hosted session: a named tracker plus its ingestion shards
+// and counters. All methods are safe for concurrent use.
+type Tracker struct {
+	name        string
+	spec        Spec
+	persistable bool
+	created     time.Time
+	baseCount   int64 // session count at construction (restored checkpoints)
+
+	// mu guards sess and dirty. Ingestion applies batches under mu from
+	// the shard workers; queries take it only for the snapshot.
+	mu    sync.Mutex
+	sess  *distmat.Session
+	dirty bool // mutated since the last (attempted) checkpoint
+
+	queues     []chan ingestReq
+	closed     chan struct{}
+	closeOnce  sync.Once
+	wg         sync.WaitGroup
+	rr         atomic.Uint64 // round-robin shard cursor for assigner batches
+	enqTimeout time.Duration
+
+	// ckptMu serializes whole checkpoint operations (serialize + file
+	// write + rename) and file removal on delete, so concurrent
+	// checkpointers cannot rename stale state over newer state and a
+	// deleted tracker's file cannot be resurrected by an in-flight
+	// checkpoint. deleted (distinct from closed: Close stops workers and
+	// *then* checkpoints, so every acknowledged batch is persisted) marks
+	// trackers whose state must never be written again.
+	ckptMu  sync.Mutex
+	deleted atomic.Bool
+
+	ingested atomic.Int64 // rows/items applied
+	rejected atomic.Int64 // batches refused by backpressure
+	lastCkpt atomic.Int64 // unix nanos of the last successful checkpoint
+	ckptErr  atomic.Value // string: last checkpoint failure, "" when clean
+}
+
+// newTracker wires a tracker around an existing session and starts its
+// shard workers.
+func newTracker(name string, spec Spec, sess *distmat.Session, shards, depth int, enqTimeout time.Duration) *Tracker {
+	t := &Tracker{
+		name:       name,
+		spec:       spec,
+		created:    time.Now(),
+		baseCount:  sess.Count(),
+		sess:       sess,
+		queues:     make([]chan ingestReq, shards),
+		closed:     make(chan struct{}),
+		enqTimeout: enqTimeout,
+	}
+	t.ckptErr.Store("")
+	t.persistable = sess.Persistable() == nil
+	for i := range t.queues {
+		t.queues[i] = make(chan ingestReq, depth)
+		t.wg.Add(1)
+		go t.worker(t.queues[i])
+	}
+	return t
+}
+
+// close stops the workers. Queued-but-unapplied batches are dropped; their
+// enqueuers get ErrClosed.
+func (t *Tracker) close() {
+	t.closeOnce.Do(func() { close(t.closed) })
+	t.wg.Wait()
+}
+
+// worker drains one shard queue, applying each batch under the tracker
+// lock.
+func (t *Tracker) worker(q chan ingestReq) {
+	defer t.wg.Done()
+	for {
+		select {
+		case req := <-q:
+			req.done <- t.apply(req)
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// apply ingests one batch. On a mid-batch error the preceding entries
+// remain ingested (the session contract); the error reports the index.
+func (t *Tracker) apply(req ingestReq) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	before := t.sess.Count()
+	var err error
+	switch {
+	case req.rows != nil:
+		if req.site == AssignSite {
+			err = t.sess.ProcessRows(req.rows)
+		} else {
+			err = t.sess.ProcessRowsAt(req.site, req.rows)
+		}
+	default:
+		if req.site == AssignSite {
+			err = t.sess.ProcessItems(req.items)
+		} else {
+			err = t.sess.ProcessItemsAt(req.site, req.items)
+		}
+	}
+	if n := t.sess.Count() - before; n > 0 {
+		t.ingested.Add(n)
+		t.dirty = true
+	}
+	return err
+}
+
+// enqueue routes a batch to a shard and waits for it to be applied.
+// Explicit sites hash to a fixed shard, preserving per-site order;
+// assigner batches round-robin across shards. A shard queue that stays
+// full past the enqueue timeout pushes back with ErrBusy.
+func (t *Tracker) enqueue(ctx context.Context, req ingestReq) error {
+	var shard int
+	if req.site >= 0 {
+		shard = req.site % len(t.queues)
+	} else {
+		shard = int(t.rr.Add(1) % uint64(len(t.queues)))
+	}
+	req.done = make(chan error, 1)
+
+	select {
+	case t.queues[shard] <- req:
+	case <-t.closed:
+		return ErrClosed
+	default:
+		// Queue full: only this slow path pays for a timer.
+		timer := time.NewTimer(t.enqTimeout)
+		defer timer.Stop()
+		select {
+		case t.queues[shard] <- req:
+		case <-t.closed:
+			return ErrClosed
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
+			t.rejected.Add(1)
+			return ErrBusy
+		}
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-t.closed:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// IngestRows ingests a batch of matrix rows at the given site (AssignSite
+// routes through the session's assigner).
+func (t *Tracker) IngestRows(ctx context.Context, site int, rows [][]float64) error {
+	return t.enqueue(ctx, ingestReq{site: site, rows: rows})
+}
+
+// IngestItems ingests a batch of weighted items at the given site
+// (AssignSite routes through the session's assigner).
+func (t *Tracker) IngestItems(ctx context.Context, site int, items []distmat.WeightedItem) error {
+	return t.enqueue(ctx, ingestReq{site: site, items: items})
+}
+
+// Name returns the tracker's name.
+func (t *Tracker) Name() string { return t.name }
+
+// Spec returns the normalized spec the tracker was created from.
+func (t *Tracker) Spec() Spec { return t.spec }
+
+// Kind returns "matrix", "heavy-hitters", or "quantile".
+func (t *Tracker) Kind() string { return t.spec.Kind }
+
+// Persistable reports whether the tracker's session supports
+// checkpointing.
+func (t *Tracker) Persistable() bool { return t.persistable }
+
+// Ingested returns the number of rows/items applied since the tracker was
+// created or restored.
+func (t *Tracker) Ingested() int64 { return t.ingested.Load() }
+
+// Count returns the total rows/items in the session, including everything
+// a restored checkpoint carried.
+func (t *Tracker) Count() int64 { return t.baseCount + t.ingested.Load() }
+
+// Stats returns the session's communication tally, taken under the
+// tracker lock: composite trackers (e.g. windowed matrix sessions) sum
+// sub-tracker tallies in plain fields, so the mutex-guarded accountant
+// alone is not enough.
+func (t *Tracker) Stats() distmat.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sess.Stats()
+}
+
+// Snapshot returns an immutable view of the session, taken under the
+// tracker lock.
+func (t *Tracker) Snapshot() distmat.Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sess.Snapshot()
+}
+
+// HeavyHitters answers the paper's φ-heavy-hitters query.
+func (t *Tracker) HeavyHitters(phi float64) ([]distmat.WeightedElement, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sess.HeavyHitters(phi)
+}
+
+// Quantile answers a φ-quantile query.
+func (t *Tracker) Quantile(phi float64) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sess.Quantile(phi)
+}
+
+// QueueLen returns the total number of batches waiting in the shard
+// queues.
+func (t *Tracker) QueueLen() int {
+	n := 0
+	for _, q := range t.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// LastCheckpoint returns the time of the last successful checkpoint (zero
+// when never checkpointed) and the last checkpoint error ("" when clean).
+func (t *Tracker) LastCheckpoint() (time.Time, string) {
+	ns := t.lastCkpt.Load()
+	var at time.Time
+	if ns != 0 {
+		at = time.Unix(0, ns)
+	}
+	return at, t.ckptErr.Load().(string)
+}

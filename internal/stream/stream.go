@@ -13,6 +13,7 @@ package stream
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Stats tallies protocol communication. The paper's "msg" metric counts
@@ -46,20 +47,49 @@ func (s Stats) String() string {
 		s.UpMsgs, s.DownMsgs, s.Broadcasts, s.UpUnits+s.DownUnits, s.UpUnits, s.DownUnits)
 }
 
+// CheckSites reports whether m is a valid site count. The error-returning
+// constructors funnel through it, as do the panicking shims, so the two
+// paths agree on what is valid.
+func CheckSites(m int) error {
+	if m < 1 {
+		return fmt.Errorf("stream: need m ≥ 1 sites, got %d", m)
+	}
+	return nil
+}
+
 // Accountant counts messages for a protocol instance with m sites.
 // Protocols call SendUp when a site transmits to the coordinator and
 // Broadcast when the coordinator transmits to all sites.
+//
+// The counters are guarded by a mutex, so Stats may be read concurrently
+// with ingestion — an observability endpoint can scrape a live tracker
+// without pausing its feeders.
 type Accountant struct {
 	m     int
+	mu    sync.Mutex
 	stats Stats
 }
 
-// NewAccountant returns an accountant for m ≥ 1 sites.
-func NewAccountant(m int) *Accountant {
-	if m < 1 {
-		panic(fmt.Sprintf("stream: need m ≥ 1 sites, got %d", m))
+// NewCheckedAccountant returns an accountant for m ≥ 1 sites, or an error
+// for an invalid site count.
+func NewCheckedAccountant(m int) (*Accountant, error) {
+	if err := CheckSites(m); err != nil {
+		return nil, err
 	}
-	return &Accountant{m: m}
+	return &Accountant{m: m}, nil
+}
+
+// NewAccountant returns an accountant for m ≥ 1 sites.
+//
+// Deprecated: use NewCheckedAccountant, which reports invalid site counts
+// as an error instead of panicking. This shim remains for callers that have
+// already validated m.
+func NewAccountant(m int) *Accountant {
+	a, err := NewCheckedAccountant(m)
+	if err != nil {
+		panic(err.Error())
+	}
+	return a
 }
 
 // Sites returns m.
@@ -68,37 +98,62 @@ func (a *Accountant) Sites() int { return a.m }
 // SendUp records one site→coordinator message carrying units of payload
 // (1 per scalar, 1 per length-d row).
 func (a *Accountant) SendUp(units int) {
+	a.mu.Lock()
 	a.stats.UpMsgs++
 	a.stats.UpUnits += int64(units)
+	a.mu.Unlock()
 }
 
 // SendUpN records n messages of unitEach payload each (e.g. a summary of n
 // counters sent as n scalar messages).
 func (a *Accountant) SendUpN(n, unitEach int) {
+	a.mu.Lock()
 	a.stats.UpMsgs += int64(n)
 	a.stats.UpUnits += int64(n) * int64(unitEach)
+	a.mu.Unlock()
 }
 
 // Broadcast records one coordinator→all-sites broadcast carrying units of
 // payload per site. It counts as m down-messages per the paper's metric.
 func (a *Accountant) Broadcast(units int) {
+	a.mu.Lock()
 	a.stats.Broadcasts++
 	a.stats.DownMsgs += int64(a.m)
 	a.stats.DownUnits += int64(a.m) * int64(units)
+	a.mu.Unlock()
 }
 
 // SendDown records one coordinator→single-site message (rare; most
 // coordinator traffic is broadcast).
 func (a *Accountant) SendDown(units int) {
+	a.mu.Lock()
 	a.stats.DownMsgs++
 	a.stats.DownUnits += int64(units)
+	a.mu.Unlock()
 }
 
-// Stats returns a snapshot of the accumulated counters.
-func (a *Accountant) Stats() Stats { return a.stats }
+// Stats returns a consistent snapshot of the accumulated counters. Safe to
+// call while other goroutines record messages.
+func (a *Accountant) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
 
 // Reset zeroes the counters.
-func (a *Accountant) Reset() { a.stats = Stats{} }
+func (a *Accountant) Reset() {
+	a.mu.Lock()
+	a.stats = Stats{}
+	a.mu.Unlock()
+}
+
+// RestoreStats overwrites the counters with a previously captured snapshot;
+// checkpoint restore uses it to resume the communication tally.
+func (a *Accountant) RestoreStats(s Stats) {
+	a.mu.Lock()
+	a.stats = s
+	a.mu.Unlock()
+}
 
 // Assigner deals stream elements to sites. Implementations must be
 // deterministic given their construction parameters.
@@ -116,8 +171,8 @@ type RoundRobin struct {
 
 // NewRoundRobin returns a cyclic assigner over m sites.
 func NewRoundRobin(m int) *RoundRobin {
-	if m < 1 {
-		panic(fmt.Sprintf("stream: need m ≥ 1 sites, got %d", m))
+	if err := CheckSites(m); err != nil {
+		panic(err.Error())
 	}
 	return &RoundRobin{m: m}
 }
@@ -135,16 +190,17 @@ func (r *RoundRobin) Sites() int { return r.m }
 // UniformRandom assigns each element to a uniformly random site, the
 // arrival model used in the paper's experiments.
 type UniformRandom struct {
-	m   int
-	rng *rand.Rand
+	m    int
+	seed int64
+	rng  *rand.Rand
 }
 
 // NewUniformRandom returns a random assigner over m sites seeded with seed.
 func NewUniformRandom(m int, seed int64) *UniformRandom {
-	if m < 1 {
-		panic(fmt.Sprintf("stream: need m ≥ 1 sites, got %d", m))
+	if err := CheckSites(m); err != nil {
+		panic(err.Error())
 	}
-	return &UniformRandom{m: m, rng: rand.New(rand.NewSource(seed))}
+	return &UniformRandom{m: m, seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Next implements Assigner.
@@ -152,3 +208,7 @@ func (u *UniformRandom) Next() int { return u.rng.Intn(u.m) }
 
 // Sites implements Assigner.
 func (u *UniformRandom) Sites() int { return u.m }
+
+// Seed returns the seed the assigner was constructed with; checkpoint
+// restore rebuilds the assigner from it and replays the draw count.
+func (u *UniformRandom) Seed() int64 { return u.seed }

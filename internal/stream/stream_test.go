@@ -127,3 +127,58 @@ func TestConstructorsValidate(t *testing.T) {
 		}()
 	}
 }
+
+func TestCheckedAccountant(t *testing.T) {
+	if _, err := NewCheckedAccountant(0); err == nil {
+		t.Fatal("expected error for m = 0")
+	}
+	if err := CheckSites(-3); err == nil {
+		t.Fatal("expected error for m = -3")
+	}
+	a, err := NewCheckedAccountant(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SendUp(3)
+	a.Broadcast(1)
+	want := Stats{UpMsgs: 1, UpUnits: 3, Broadcasts: 1, DownMsgs: 2, DownUnits: 2}
+	if a.Stats() != want {
+		t.Fatalf("stats %v, want %v", a.Stats(), want)
+	}
+	b, _ := NewCheckedAccountant(2)
+	b.RestoreStats(a.Stats())
+	if b.Stats() != want {
+		t.Fatalf("restored stats %v, want %v", b.Stats(), want)
+	}
+}
+
+// TestAccountantConcurrentStats reads Stats while senders record; run
+// under -race this is the safe-scrape contract the service /metrics
+// endpoint relies on.
+func TestAccountantConcurrentStats(t *testing.T) {
+	a := NewAccountant(4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10_000; i++ {
+			a.SendUp(1)
+			if i%100 == 0 {
+				a.Broadcast(1)
+			}
+		}
+	}()
+	for {
+		s := a.Stats()
+		if s.DownMsgs > s.Broadcasts*4 {
+			t.Fatalf("torn read: %v", s)
+		}
+		select {
+		case <-done:
+			if got := a.Stats(); got.UpMsgs != 10_000 || got.Broadcasts != 100 {
+				t.Fatalf("final stats %v", got)
+			}
+			return
+		default:
+		}
+	}
+}

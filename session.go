@@ -35,10 +35,13 @@ func (k sessionKind) String() string {
 //
 // A session has one of three kinds — matrix, heavy-hitters, or quantile —
 // fixed at construction. Batch ingestion goes through ProcessRows (matrix)
-// or ProcessItems (heavy-hitters and quantile; Elem is the quantile value);
-// malformed input returns an error instead of panicking. Sessions are not
-// safe for concurrent use; for a concurrent deployment see NewHHCluster,
-// NewMatrixCluster, and the TCP runtime.
+// or ProcessItems (heavy-hitters and quantile; Elem is the quantile value),
+// with ...At variants pinning an explicit origin site; malformed input
+// returns an error instead of panicking. Deterministic sessions checkpoint
+// with SaveState/RestoreSession (persist.go). Sessions are not safe for
+// concurrent use; for a concurrent deployment see NewHHCluster,
+// NewMatrixCluster, the TCP runtime, or the cmd/distserve service layer,
+// which serializes many feeders onto one session.
 type Session struct {
 	kind  sessionKind
 	proto string
@@ -51,6 +54,7 @@ type Session struct {
 
 	exact *Sym // exact Gram AᵀA, non-nil iff cfg.TrackExact on a matrix session
 	count int64
+	draws int64 // assigner draws so far (ProcessRowAt/ProcessItemAt skip the assigner)
 }
 
 // adoptAssigner reconciles cfg.Sites with an explicit assigner before any
@@ -215,12 +219,35 @@ func (s *Session) ProcessRow(row []float64) error {
 	if len(row) != s.cfg.Dim {
 		return fmt.Errorf("%w: row of length %d, want %d", ErrDimensionMismatch, len(row), s.cfg.Dim)
 	}
-	s.mat.ProcessRow(s.asg.Next(), row)
+	site := s.asg.Next()
+	s.draws++
+	s.ingestRow(site, row)
+	return nil
+}
+
+// ProcessRowAt ingests one matrix row at an explicit site in [0, Sites),
+// bypassing the session's assigner — the ingestion path for deployments
+// where the caller is the site (e.g. the service API's per-site feeds).
+func (s *Session) ProcessRowAt(site int, row []float64) error {
+	if s.kind != matrixKind {
+		return fmt.Errorf("%w: ProcessRowAt on a %s session", ErrWrongKind, s.kind)
+	}
+	if site < 0 || site >= s.cfg.Sites {
+		return fmt.Errorf("%w: site %d outside [0, %d)", ErrInvalidSite, site, s.cfg.Sites)
+	}
+	if len(row) != s.cfg.Dim {
+		return fmt.Errorf("%w: row of length %d, want %d", ErrDimensionMismatch, len(row), s.cfg.Dim)
+	}
+	s.ingestRow(site, row)
+	return nil
+}
+
+func (s *Session) ingestRow(site int, row []float64) {
+	s.mat.ProcessRow(site, row)
 	if s.exact != nil {
 		s.exact.AddOuter(1, row)
 	}
 	s.count++
-	return nil
 }
 
 // ProcessRows ingests a batch of matrix rows. On error the rows preceding
@@ -234,25 +261,66 @@ func (s *Session) ProcessRows(rows [][]float64) error {
 	return nil
 }
 
+// ProcessRowsAt ingests a batch of matrix rows at an explicit site. On
+// error the rows preceding the offending one remain ingested; the error
+// reports its index.
+func (s *Session) ProcessRowsAt(site int, rows [][]float64) error {
+	for i, row := range rows {
+		if err := s.ProcessRowAt(site, row); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // ProcessItem ingests one weighted item: (element, weight) for
 // heavy-hitters sessions, (value, weight) for quantile sessions.
 func (s *Session) ProcessItem(it WeightedItem) error {
+	if err := s.checkItem(it); err != nil {
+		return err
+	}
+	site := s.asg.Next()
+	s.draws++
+	s.ingestItem(site, it)
+	return nil
+}
+
+// ProcessItemAt ingests one weighted item at an explicit site in
+// [0, Sites), bypassing the session's assigner.
+func (s *Session) ProcessItemAt(site int, it WeightedItem) error {
+	if err := s.checkItem(it); err != nil {
+		return err
+	}
+	if site < 0 || site >= s.cfg.Sites {
+		return fmt.Errorf("%w: site %d outside [0, %d)", ErrInvalidSite, site, s.cfg.Sites)
+	}
+	s.ingestItem(site, it)
+	return nil
+}
+
+func (s *Session) checkItem(it WeightedItem) error {
 	if it.Weight <= 0 {
 		return fmt.Errorf("%w: need positive weight, got %v", ErrInvalidItem, it.Weight)
 	}
 	switch s.kind {
 	case hhKind:
-		s.hhp.Process(s.asg.Next(), it.Elem, it.Weight)
 	case quantileKind:
 		if it.Elem >= uint64(1)<<s.cfg.Bits {
 			return fmt.Errorf("%w: value %d outside universe [0, 2^%d)", ErrInvalidItem, it.Elem, s.cfg.Bits)
 		}
-		s.qt.Process(s.asg.Next(), it.Elem, it.Weight)
 	default:
 		return fmt.Errorf("%w: ProcessItem on a %s session", ErrWrongKind, s.kind)
 	}
-	s.count++
 	return nil
+}
+
+func (s *Session) ingestItem(site int, it WeightedItem) {
+	if s.kind == hhKind {
+		s.hhp.Process(site, it.Elem, it.Weight)
+	} else {
+		s.qt.Process(site, it.Elem, it.Weight)
+	}
+	s.count++
 }
 
 // ProcessItems ingests a batch of weighted items. On error the items
@@ -260,6 +328,18 @@ func (s *Session) ProcessItem(it WeightedItem) error {
 func (s *Session) ProcessItems(items []WeightedItem) error {
 	for i, it := range items {
 		if err := s.ProcessItem(it); err != nil {
+			return fmt.Errorf("item %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ProcessItemsAt ingests a batch of weighted items at an explicit site. On
+// error the items preceding the offending one remain ingested; the error
+// reports its index.
+func (s *Session) ProcessItemsAt(site int, items []WeightedItem) error {
+	for i, it := range items {
+		if err := s.ProcessItemAt(site, it); err != nil {
 			return fmt.Errorf("item %d: %w", i, err)
 		}
 	}

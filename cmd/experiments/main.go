@@ -10,7 +10,11 @@
 //
 // -bench-json skips the figures and instead runs the ingestion benchmark,
 // writing rows/sec and messages-per-update per protocol to FILE (the
-// repo's `make bench` target emits BENCH_ingest.json this way).
+// repo's `make bench` target emits BENCH_ingest.json this way). Beyond the
+// per-protocol session rows it records the blocked batch path ("p1+batch",
+// "p2+batch": per-site blocks through Session.ProcessRowsAt) and the
+// sketch-level blocked-vs-unblocked Frequent Directions comparison
+// ("fd-blocked" vs "fd-unblocked").
 //
 // -protocol restricts every sweep to a comma-separated subset of the
 // registered protocol names (distmat.HHProtocols / distmat.MatrixProtocols);

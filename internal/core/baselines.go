@@ -50,6 +50,23 @@ func (b *NaiveFD) ProcessRow(site int, row []float64) {
 	b.sk.Append(row)
 }
 
+// ProcessRows implements BatchTracker: every row is still one forwarded
+// message (SendUpN tallies n single-unit messages exactly like n SendUp
+// calls), and the batch lands in the coordinator sketch through the
+// blocked FD fast path.
+func (b *NaiveFD) ProcessRows(site int, rows [][]float64) {
+	validateSite(site, b.m)
+	validateRows(rows, b.d)
+	if len(rows) == 0 {
+		return
+	}
+	b.acct.SendUpN(len(rows), 1)
+	for _, row := range rows {
+		b.fro += matrix.NormSq(row)
+	}
+	b.sk.AppendRows(rows)
+}
+
 // Gram implements Tracker.
 func (b *NaiveFD) Gram() *matrix.Sym { return b.sk.Gram() }
 
@@ -99,6 +116,21 @@ func (b *NaiveSVD) ProcessRow(site int, row []float64) {
 	b.gram.AddOuter(1, row)
 }
 
+// ProcessRows implements BatchTracker; see NaiveFD.ProcessRows for the
+// message accounting.
+func (b *NaiveSVD) ProcessRows(site int, rows [][]float64) {
+	validateSite(site, b.m)
+	validateRows(rows, b.d)
+	if len(rows) == 0 {
+		return
+	}
+	b.acct.SendUpN(len(rows), 1)
+	for _, row := range rows {
+		b.fro += matrix.NormSq(row)
+		b.gram.AddOuter(1, row)
+	}
+}
+
 // Gram implements Tracker (exact AᵀA).
 func (b *NaiveSVD) Gram() *matrix.Sym { return b.gram.Clone() }
 
@@ -126,8 +158,8 @@ func (b *NaiveSVD) EstimateFrobenius() float64 { return b.fro }
 func (b *NaiveSVD) Stats() stream.Stats { return b.acct.Stats() }
 
 var (
-	_ Tracker = (*NaiveFD)(nil)
-	_ Tracker = (*NaiveSVD)(nil)
+	_ BatchTracker = (*NaiveFD)(nil)
+	_ BatchTracker = (*NaiveSVD)(nil)
 )
 
 // EllForEps returns the FD sketch size achieving deterministic error ε:

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// Message-count regression harness for the blocked batch entry points:
+// every matrix protocol fed the same seeded stream through ProcessRows —
+// with batches cut at arbitrary boundaries — must report byte-identical
+// stream.Accountant up/down tallies to per-row ingestion, and (the
+// protocols being deterministic state machines, the samplers consuming
+// their rng in row order) an identical coordinator estimate.
+
+// batchStream builds a seeded stream with blocky site runs, so the batch
+// path sees real multi-row blocks rather than single-row runs.
+func batchStream(seed int64, n, d, m, runLen int) (rows [][]float64, sites []int) {
+	rng := rand.New(rand.NewSource(seed))
+	rows = make([][]float64, n)
+	sites = make([]int, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		// Rows with exactly zero norm are excluded by the generator
+		// (NormFloat64 never returns all-zeros in practice; guard anyway).
+		if matrix.NormSq(row) == 0 {
+			row[0] = 1
+		}
+		rows[i] = row
+		sites[i] = (i / runLen) % m
+	}
+	return rows, sites
+}
+
+// feedPerRow drives the row-at-a-time reference path.
+func feedPerRow(t Tracker, rows [][]float64, sites []int) {
+	for i, row := range rows {
+		t.ProcessRow(sites[i], row)
+	}
+}
+
+// feedBatched drives the blocked path: site runs are split further into
+// random-length sub-batches so multi-call batching is exercised too.
+func feedBatched(t Tracker, rows [][]float64, sites []int, splitSeed int64) {
+	rng := rand.New(rand.NewSource(splitSeed))
+	for start := 0; start < len(rows); {
+		end := start + 1
+		for end < len(rows) && sites[end] == sites[start] {
+			end++
+		}
+		for sub := start; sub < end; {
+			take := 1 + rng.Intn(end-sub)
+			ProcessRows(t, sites[sub], rows[sub:sub+take])
+			sub += take
+		}
+		start = end
+	}
+}
+
+func TestBatchIngestionMatchesPerRowMessageCounts(t *testing.T) {
+	const m, d, n = 5, 12, 4000
+	rows, sites := batchStream(11, n, d, m, 37)
+
+	builders := []struct {
+		name  string
+		build func() Tracker
+	}{
+		{"P1", func() Tracker { return NewP1(m, 0.15, d) }},
+		{"P2", func() Tracker { return NewP2(m, 0.15, d) }},
+		{"P2small", func() Tracker { return NewP2SmallSpace(m, 0.3, d) }},
+		{"P3", func() Tracker { return NewP3(m, 0.2, d, 42) }},
+		{"P3wr", func() Tracker { return NewP3WR(m, 0.2, d, 42) }},
+		{"P4", func() Tracker { return NewP4(m, 0.2, d, 42) }},
+		{"FD", func() Tracker { return NewNaiveFD(m, 10, d) }},
+		{"SVD", func() Tracker { return NewNaiveSVD(m, d) }},
+		{"Windowed(P2)", func() Tracker {
+			return NewWindowedTracker(600, func() Tracker { return NewP2(m, 0.15, d) })
+		}},
+	}
+	for _, bc := range builders {
+		t.Run(bc.name, func(t *testing.T) {
+			perRow := bc.build()
+			feedPerRow(perRow, rows, sites)
+			batched := bc.build()
+			feedBatched(batched, rows, sites, 77)
+
+			if a, b := perRow.Stats(), batched.Stats(); a != b {
+				t.Fatalf("message tallies diverge:\nper-row: %v\nbatched: %v", a, b)
+			}
+			if a, b := perRow.EstimateFrobenius(), batched.EstimateFrobenius(); a != b {
+				t.Fatalf("Frobenius estimates diverge: %v vs %v", a, b)
+			}
+			ga, gb := perRow.Gram(), batched.Gram()
+			diff := ga.Clone()
+			diff.SubSym(gb)
+			if diff.MaxAbs() != 0 {
+				t.Fatalf("coordinator Grams diverge by %v", diff.MaxAbs())
+			}
+		})
+	}
+}

@@ -44,6 +44,34 @@ type Tracker interface {
 	Stats() stream.Stats
 }
 
+// BatchTracker is implemented by trackers with a blocked batch-ingestion
+// fast path. ProcessRows must be observationally identical to calling
+// ProcessRow once per row in order: same final tracker state and the same
+// message tallies, with every per-row message trigger evaluated at its
+// exact row index. (The only licensed difference is validation: a batch
+// may be validated up front, panicking before any row is ingested, where
+// the per-row path would have ingested the prefix.) Every tracker in this
+// package implements it; the interface stays optional so external Tracker
+// implementations keep compiling.
+type BatchTracker interface {
+	Tracker
+	// ProcessRows delivers a batch of rows arriving at one site.
+	ProcessRows(site int, rows [][]float64)
+}
+
+// ProcessRows delivers a batch of rows to one site of t, through the
+// tracker's blocked fast path when it has one and the row-at-a-time loop
+// otherwise.
+func ProcessRows(t Tracker, site int, rows [][]float64) {
+	if bt, ok := t.(BatchTracker); ok {
+		bt.ProcessRows(site, rows)
+		return
+	}
+	for _, row := range rows {
+		t.ProcessRow(site, row)
+	}
+}
+
 // Run feeds a materialized row stream through a tracker with the given site
 // assigner, and returns the exact Gram matrix AᵀA of the whole stream for
 // evaluation.
@@ -109,6 +137,12 @@ func validateParams(m int, eps float64, d int) {
 func validateRow(row []float64, d int) {
 	if len(row) != d {
 		panic(fmt.Sprintf("core: row of length %d, want %d", len(row), d))
+	}
+}
+
+func validateRows(rows [][]float64, d int) {
+	for _, row := range rows {
+		validateRow(row, d)
 	}
 }
 

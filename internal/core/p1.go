@@ -78,6 +78,36 @@ func (p *P1) ProcessRow(site int, row []float64) {
 	}
 }
 
+// ProcessRows implements BatchTracker: rows are folded into the site sketch
+// through the blocked FD fast path in segments delimited by the ship
+// threshold. The mass threshold τ depends only on F̂, which changes only at
+// a ship, so scanning the prefix sums up to the first crossing reproduces
+// the per-row trigger points exactly: identical ships, identical message
+// tallies, identical sketch state.
+func (p *P1) ProcessRows(site int, rows [][]float64) {
+	validateSite(site, p.m)
+	validateRows(rows, p.d)
+	s := &p.sites[site]
+	for start := 0; start < len(rows); {
+		tau := (p.eps / (2 * float64(p.m))) * p.fhat
+		mass := s.mass
+		end := start
+		for end < len(rows) {
+			mass += matrix.NormSq(rows[end])
+			end++
+			if mass >= tau {
+				break
+			}
+		}
+		s.sk.AppendRows(rows[start:end])
+		s.mass = mass
+		if s.mass >= tau {
+			p.ship(site)
+		}
+		start = end
+	}
+}
+
 // ship sends the site's sketch to the coordinator (Algorithm 5.2).
 func (p *P1) ship(site int) {
 	s := &p.sites[site]

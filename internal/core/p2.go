@@ -104,7 +104,25 @@ func (p *P2) Eps() float64 { return p.eps }
 func (p *P2) ProcessRow(site int, row []float64) {
 	validateSite(site, p.m)
 	validateRow(row, p.d)
+	p.processRow(&p.sites[site], row)
+}
+
+// ProcessRows implements BatchTracker. P2's expensive step — the site
+// eigendecomposition — is already deferred by the exact λ-bound, so the
+// batch path is the per-row state machine minus the per-call validation:
+// every threshold check runs at its exact row index and the message
+// tallies match row-at-a-time ingestion bit for bit.
+func (p *P2) ProcessRows(site int, rows [][]float64) {
+	validateSite(site, p.m)
+	validateRows(rows, p.d)
 	s := &p.sites[site]
+	for _, row := range rows {
+		p.processRow(s, row)
+	}
+}
+
+// processRow is the validated per-row step of Algorithm 5.3.
+func (p *P2) processRow(s *p2site, row []float64) {
 	w := matrix.NormSq(row)
 
 	// Scalar side-channel for F̂.

@@ -77,7 +77,24 @@ func (p *P2SmallSpace) SketchRows() int { return p.sites[0].recv.Ell() }
 func (p *P2SmallSpace) ProcessRow(site int, row []float64) {
 	validateSite(site, p.m)
 	validateRow(row, p.d)
+	p.processRow(&p.sites[site], row)
+}
+
+// ProcessRows implements BatchTracker: the per-row state machine with the
+// validation hoisted out of the loop. Rows land in the site's blocked FD
+// sketches, so the batch amortizes their factorizations; every threshold
+// check still runs at its exact row index and the message tallies match
+// row-at-a-time ingestion.
+func (p *P2SmallSpace) ProcessRows(site int, rows [][]float64) {
+	validateSite(site, p.m)
+	validateRows(rows, p.d)
 	s := &p.sites[site]
+	for _, row := range rows {
+		p.processRow(s, row)
+	}
+}
+
+func (p *P2SmallSpace) processRow(s *p2sSite, row []float64) {
 	w := matrix.NormSq(row)
 
 	s.fdelta += w
@@ -153,4 +170,4 @@ func (p *P2SmallSpace) EstimateFrobenius() float64 { return p.coordFhat }
 // Stats implements Tracker.
 func (p *P2SmallSpace) Stats() stream.Stats { return p.acct.Stats() }
 
-var _ Tracker = (*P2SmallSpace)(nil)
+var _ BatchTracker = (*P2SmallSpace)(nil)

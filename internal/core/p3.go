@@ -64,6 +64,21 @@ func (p *P3) SampleSize() int { return p.coord.TargetSize() }
 func (p *P3) ProcessRow(site int, row []float64) {
 	validateSite(site, p.m)
 	validateRow(row, p.d)
+	p.processRow(row)
+}
+
+// ProcessRows implements BatchTracker: the per-row sampling loop with the
+// validation hoisted out. The priority draws consume the rng in row order,
+// so sample contents and message tallies match row-at-a-time ingestion.
+func (p *P3) ProcessRows(site int, rows [][]float64) {
+	validateSite(site, p.m)
+	validateRows(rows, p.d)
+	for _, row := range rows {
+		p.processRow(row)
+	}
+}
+
+func (p *P3) processRow(row []float64) {
 	w := matrix.NormSq(row)
 	rho := sample.Priority(w, p.rng)
 	if rho < p.tau {
@@ -146,6 +161,19 @@ func (p *P3WR) Eps() float64 { return p.eps }
 func (p *P3WR) ProcessRow(site int, row []float64) {
 	validateSite(site, p.m)
 	validateRow(row, p.d)
+	p.processRow(row)
+}
+
+// ProcessRows implements BatchTracker; see P3.ProcessRows.
+func (p *P3WR) ProcessRows(site int, rows [][]float64) {
+	validateSite(site, p.m)
+	validateRows(rows, p.d)
+	for _, row := range rows {
+		p.processRow(row)
+	}
+}
+
+func (p *P3WR) processRow(row []float64) {
 	w := matrix.NormSq(row)
 	idx, pri := sample.SitePriorities(w, p.tau, p.coord.Samplers(), p.rng)
 	if len(idx) == 0 {
@@ -183,10 +211,11 @@ func (p *P3WR) EstimateFrobenius() float64 { return p.coord.EstimateTotal() }
 // Stats implements Tracker.
 func (p *P3WR) Stats() stream.Stats { return p.acct.Stats() }
 
-// Compile-time checks against accidental interface drift.
+// Compile-time checks against accidental interface drift. Every protocol
+// also carries the blocked batch entry point.
 var (
-	_ Tracker = (*P1)(nil)
-	_ Tracker = (*P2)(nil)
-	_ Tracker = (*P3)(nil)
-	_ Tracker = (*P3WR)(nil)
+	_ BatchTracker = (*P1)(nil)
+	_ BatchTracker = (*P2)(nil)
+	_ BatchTracker = (*P3)(nil)
+	_ BatchTracker = (*P3WR)(nil)
 )

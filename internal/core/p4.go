@@ -86,7 +86,22 @@ func (p *P4) sendProb() float64 {
 func (p *P4) ProcessRow(site int, row []float64) {
 	validateSite(site, p.m)
 	validateRow(row, p.d)
+	p.processRow(&p.sites[site], site, row)
+}
+
+// ProcessRows implements BatchTracker: the per-row send-probability loop
+// with validation hoisted out; rng draws stay in row order, so the message
+// tallies match row-at-a-time ingestion.
+func (p *P4) ProcessRows(site int, rows [][]float64) {
+	validateSite(site, p.m)
+	validateRows(rows, p.d)
 	s := &p.sites[site]
+	for _, row := range rows {
+		p.processRow(s, site, row)
+	}
+}
+
+func (p *P4) processRow(s *p4site, site int, row []float64) {
 	w := matrix.NormSq(row)
 	p.fro.Observe(site, w)
 	s.gram.AddOuter(1, row)
@@ -127,7 +142,7 @@ func (p *P4) EstimateFrobenius() float64 { return p.fro.Tally() }
 // Stats implements Tracker.
 func (p *P4) Stats() stream.Stats { return p.acct.Stats() }
 
-var _ Tracker = (*P4)(nil)
+var _ BatchTracker = (*P4)(nil)
 
 // froTracker is the matrix-side copy of the heavy-hitters WeightTracker:
 // it maintains F̂ ≤ ‖A‖²_F ≤ (1+2θ)·F̂ with threshold-doubling broadcasts.

@@ -58,17 +58,44 @@ func (w *WindowedTracker) Window() int { return w.window }
 
 // ProcessRow implements Tracker.
 func (w *WindowedTracker) ProcessRow(site int, row []float64) {
-	if w.inCur >= w.half {
-		if w.prev != nil {
-			w.retired.Add(w.prev.Stats())
-		}
-		w.prev = w.current
-		w.current = w.build()
-		w.inCur = 0
-	}
+	w.rotate()
 	w.current.ProcessRow(site, row)
 	w.inCur++
 	w.total++
+}
+
+// rotate retires the previous sub-window and starts a fresh tracker when
+// the current sub-window is full.
+func (w *WindowedTracker) rotate() {
+	if w.inCur < w.half {
+		return
+	}
+	if w.prev != nil {
+		w.retired.Add(w.prev.Stats())
+	}
+	w.prev = w.current
+	w.current = w.build()
+	w.inCur = 0
+}
+
+// ProcessRows implements BatchTracker: the batch is forwarded to the inner
+// trackers in chunks cut at the sub-window boundaries, so restarts happen
+// at exactly the rows they would under per-row ingestion. The whole batch
+// is validated before any chunk is ingested (the BatchTracker contract:
+// a bad row panics with nothing applied, never mid-batch).
+func (w *WindowedTracker) ProcessRows(site int, rows [][]float64) {
+	validateRows(rows, w.Dim())
+	for len(rows) > 0 {
+		w.rotate()
+		take := w.half - w.inCur
+		if take > len(rows) {
+			take = len(rows)
+		}
+		ProcessRows(w.current, site, rows[:take])
+		w.inCur += take
+		w.total += int64(take)
+		rows = rows[take:]
+	}
 }
 
 // Covered returns the number of most-recent rows the current estimate
@@ -110,4 +137,4 @@ func (w *WindowedTracker) Stats() stream.Stats {
 	return s
 }
 
-var _ Tracker = (*WindowedTracker)(nil)
+var _ BatchTracker = (*WindowedTracker)(nil)

@@ -60,10 +60,11 @@ func (r *Runner) IngestBench() ([]IngestResult, error) {
 		out = append(out, ingestResult("heavy-hitters", proto, sess, len(items), time.Since(start)))
 	}
 
+	const matDim = 44
 	for _, proto := range []string{"p1", "p2"} {
 		sess, err := distmat.NewMatrixSession(proto,
 			distmat.WithSites(cfg.Sites), distmat.WithEpsilon(0.1),
-			distmat.WithDim(44), distmat.WithSeed(cfg.Seed))
+			distmat.WithDim(matDim), distmat.WithSeed(cfg.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -72,9 +73,56 @@ func (r *Runner) IngestBench() ([]IngestResult, error) {
 			return nil, err
 		}
 		res := ingestResult("matrix", proto, sess, len(rows), time.Since(start))
-		res.Dim = 44
+		res.Dim = matDim
 		out = append(out, res)
 	}
+
+	// The same protocols fed per-site blocks through the blocked batch path
+	// (Session.ProcessRowsAt → core.BatchTracker), the shape the service
+	// layer's POST rows handler drives. Arrival order differs from the
+	// assigner-dealt rows above (contiguous per-site blocks), so the message
+	// columns are not directly comparable between the two; the rows/sec
+	// column is the point.
+	for _, proto := range []string{"p1", "p2"} {
+		sess, err := distmat.NewMatrixSession(proto,
+			distmat.WithSites(cfg.Sites), distmat.WithEpsilon(0.1),
+			distmat.WithDim(matDim), distmat.WithSeed(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		const block = 1024
+		start := time.Now()
+		for i, site := 0, 0; i < len(rows); i += block {
+			end := i + block
+			if end > len(rows) {
+				end = len(rows)
+			}
+			if err := sess.ProcessRowsAt(site, rows[i:end]); err != nil {
+				return nil, err
+			}
+			site = (site + 1) % cfg.Sites
+		}
+		res := ingestResult("matrix", proto+"+batch", sess, len(rows), time.Since(start))
+		res.Dim = matDim
+		out = append(out, res)
+	}
+
+	// Blocked vs unblocked Frequent Directions: the sketch-level hot path
+	// with no protocol overhead. The unblocked baseline factorizes after
+	// every row (block 1, the row-at-a-time path); the blocked sketch uses
+	// the default 2ℓ buffer fed through AppendRows.
+	fdEll := matDim / 2
+	unblocked := distmat.NewFrequentDirectionsBuffered(fdEll, matDim, 1)
+	start := time.Now()
+	for _, row := range rows {
+		unblocked.Append(row)
+	}
+	out = append(out, sketchResult("fd-unblocked", fdEll, matDim, len(rows), time.Since(start)))
+
+	blocked := distmat.NewFrequentDirections(fdEll, matDim)
+	start = time.Now()
+	blocked.AppendRows(rows)
+	out = append(out, sketchResult("fd-blocked", fdEll, matDim, len(rows), time.Since(start)))
 
 	qsess, err := distmat.NewQuantileSession(
 		distmat.WithSites(cfg.Sites), distmat.WithEpsilon(0.05),
@@ -86,13 +134,32 @@ func (r *Runner) IngestBench() ([]IngestResult, error) {
 	for i, it := range items {
 		qitems[i] = distmat.WeightedItem{Elem: it.Elem % (1 << 16), Weight: it.Weight}
 	}
-	start := time.Now()
+	start = time.Now()
 	if err := qsess.ProcessItems(qitems); err != nil {
 		return nil, err
 	}
 	out = append(out, ingestResult("quantile", "qdigest", qsess, len(qitems), time.Since(start)))
 
 	return out, nil
+}
+
+// sketchResult is ingestResult for the standalone FD sketch rows, which
+// have no session (no sites, no messages): Epsilon records the sketch's
+// deterministic 1/(ℓ+1) bound.
+func sketchResult(proto string, ell, d, n int, elapsed time.Duration) IngestResult {
+	res := IngestResult{
+		Problem:  "matrix-sketch",
+		Protocol: proto,
+		Sites:    1,
+		Epsilon:  1 / float64(ell+1),
+		Dim:      d,
+		N:        n,
+		Seconds:  elapsed.Seconds(),
+	}
+	if res.Seconds > 0 {
+		res.RowsPerSec = float64(n) / res.Seconds
+	}
+	return res
 }
 
 func ingestResult(problem, proto string, sess *distmat.Session, n int, elapsed time.Duration) IngestResult {

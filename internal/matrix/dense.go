@@ -148,6 +148,14 @@ func (m *Dense) AppendRow(row []float64) {
 	m.rows++
 }
 
+// CopyFrom overwrites m with the contents of b. Dimensions must match.
+func (m *Dense) CopyFrom(b *Dense) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("matrix: copy %d×%d into %d×%d", b.rows, b.cols, m.rows, m.cols))
+	}
+	copy(m.data, b.data)
+}
+
 // Clone returns a deep copy.
 func (m *Dense) Clone() *Dense {
 	out := &Dense{rows: m.rows, cols: m.cols, data: make([]float64, len(m.data))}

@@ -22,10 +22,25 @@ var ErrNoConvergence = errors.New("matrix: iteration did not converge")
 // for the Gram matrices used throughout this repository. See JacobiEigSym
 // for the slower rotation-based reference used in tests.
 func EigSym(s *Sym) (vals []float64, V *Dense, err error) {
+	return EigSymWork(s, nil)
+}
+
+// EigSymWork is EigSym with caller-provided scratch: every buffer — the
+// returned eigenvalue slice and eigenvector matrix included — lives in ws
+// and is valid only until the workspace's next call. A nil ws allocates a
+// fresh workspace (exactly EigSym). The hot factorization loops (the FD
+// sketch's blocked compress, the site runtimes) pass a per-instance
+// workspace so repeated decompositions of a fixed dimension allocate
+// nothing.
+func EigSymWork(s *Sym, ws *EigWorkspace) (vals []float64, V *Dense, err error) {
+	if ws == nil {
+		ws = &EigWorkspace{}
+	}
 	n := s.n
-	V = s.Dense()
-	d := make([]float64, n)
-	e := make([]float64, n)
+	ws.reserve(n)
+	V = ws.v
+	copy(V.data, s.data)
+	d, e := ws.d, ws.e
 	if n == 0 {
 		return d, V, nil
 	}
@@ -33,7 +48,7 @@ func EigSym(s *Sym) (vals []float64, V *Dense, err error) {
 	if err := tql2(V, d, e); err != nil {
 		return nil, nil, err
 	}
-	sortEigDesc(d, V)
+	sortEigDescWork(d, V, ws)
 	return d, V, nil
 }
 
@@ -232,15 +247,22 @@ func tql2(V *Dense, d, e []float64) error {
 // sortEigDesc sorts eigenvalues in descending order, permuting the columns of
 // V to match.
 func sortEigDesc(d []float64, V *Dense) {
+	ws := &EigWorkspace{}
+	ws.reserveSort(len(d))
+	sortEigDescWork(d, V, ws)
+}
+
+// sortEigDescWork is sortEigDesc using the workspace's permutation buffers.
+func sortEigDescWork(d []float64, V *Dense, ws *EigWorkspace) {
 	n := len(d)
-	idx := make([]int, n)
+	idx := ws.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return d[idx[a]] > d[idx[b]] })
 
-	sorted := make([]float64, n)
-	perm := NewDense(V.rows, V.cols)
+	sorted := ws.sorted[:n]
+	perm := reuseDense(ws.perm, V.rows, V.cols, false)
 	for newCol, oldCol := range idx {
 		sorted[newCol] = d[oldCol]
 		for r := 0; r < V.rows; r++ {

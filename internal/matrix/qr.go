@@ -15,12 +15,25 @@ type QR struct {
 // FactorQR computes the QR decomposition of a (m×n, m ≥ n required) by
 // Householder reflections.
 func FactorQR(a *Dense) *QR {
+	return FactorQRWork(a, nil)
+}
+
+// FactorQRWork is FactorQR with caller-provided scratch: the returned
+// factorization aliases ws and is valid only until the workspace's next
+// call. A nil ws allocates a fresh workspace (exactly FactorQR).
+func FactorQRWork(a *Dense, ws *QRWorkspace) *QR {
 	m, n := a.Dims()
 	if m < n {
 		panic("matrix: QR requires rows ≥ cols")
 	}
-	qr := a.Clone()
-	rdiag := make([]float64, n)
+	if ws == nil {
+		ws = &QRWorkspace{}
+	}
+	ws.qr = reuseDense(ws.qr, m, n, false)
+	copy(ws.qr.data, a.data)
+	ws.rdiag = growFloats(ws.rdiag, n)
+	qr := ws.qr
+	rdiag := ws.rdiag
 
 	for k := 0; k < n; k++ {
 		// Compute the 2-norm of the k-th column below the diagonal.

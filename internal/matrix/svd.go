@@ -15,15 +15,27 @@ import (
 // EISPACK/Numerical-Recipes routine with explicit epsilon tests). It is
 // cross-checked against JacobiSVD in the test suite.
 func SVD(a *Dense) (U *Dense, sigma []float64, V *Dense, err error) {
+	return SVDWork(a, nil)
+}
+
+// SVDWork is SVD with caller-provided scratch: the returned factors alias
+// ws and are valid only until the workspace's next call. A nil ws allocates
+// a fresh workspace (exactly SVD). Blocked ingestion paths that factorize a
+// fixed shape repeatedly pass a per-instance workspace so the loop
+// allocates nothing.
+func SVDWork(a *Dense, ws *SVDWorkspace) (U *Dense, sigma []float64, V *Dense, err error) {
+	if ws == nil {
+		ws = &SVDWorkspace{}
+	}
 	n, d := a.Dims()
 	if n == 0 || d == 0 {
 		return NewDense(n, 0), nil, NewDense(d, 0), nil
 	}
 	if n >= d {
-		return svdTall(a.Clone())
+		return svdTall(ws.loadU(a), ws)
 	}
 	// A = (Aᵀ)ᵀ = (U'ΣV'ᵀ)ᵀ = V'ΣU'ᵀ.
-	Ut, sigma, Vt, err := svdTall(a.T())
+	Ut, sigma, Vt, err := svdTall(ws.loadUT(a), ws)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -37,12 +49,16 @@ func SingularValues(a *Dense) ([]float64, error) {
 }
 
 // svdTall computes the SVD of an m×n matrix with m ≥ n, overwriting u
-// (which holds A on entry and U on exit).
-func svdTall(u *Dense) (*Dense, []float64, *Dense, error) {
+// (which holds A on entry and U on exit). Scratch vectors and V come from
+// the workspace.
+func svdTall(u *Dense, ws *SVDWorkspace) (*Dense, []float64, *Dense, error) {
 	m, n := u.Dims()
-	w := make([]float64, n)
-	rv1 := make([]float64, n)
-	v := NewDense(n, n)
+	ws.w = growFloats(ws.w, n)
+	ws.rv1 = growFloats(ws.rv1, n)
+	ws.v = reuseDense(ws.v, n, n, true)
+	w := ws.w
+	rv1 := ws.rv1
+	v := ws.v
 
 	var c, f, h, s, x, y, z float64
 	var g, scale, anorm float64

@@ -218,10 +218,23 @@ func Gram(a *Dense) *Sym {
 // Reconstruct returns the symmetric matrix V·diag(vals)·Vᵀ where the columns
 // of V are eigenvectors. Only the first len(vals) columns of V are used.
 func Reconstruct(v *Dense, vals []float64) *Sym {
+	s := NewSym(v.rows)
+	ReconstructInto(s, v, vals)
+	return s
+}
+
+// ReconstructInto overwrites dst with V·diag(vals)·Vᵀ, reusing dst's
+// storage; it is Reconstruct for the blocked factorization loops that
+// rebuild a Gram of fixed dimension every block. dst must be v.rows ×
+// v.rows.
+func ReconstructInto(dst *Sym, v *Dense, vals []float64) {
 	if len(vals) > v.cols {
 		panic(fmt.Sprintf("matrix: %d eigenvalues for %d eigenvectors", len(vals), v.cols))
 	}
-	s := NewSym(v.rows)
+	if dst.n != v.rows {
+		panic(fmt.Sprintf("matrix: reconstruct %d-dim eigenvectors into %d×%d", v.rows, dst.n, dst.n))
+	}
+	dst.Reset()
 	col := make([]float64, v.rows)
 	for k, lam := range vals {
 		if lam == 0 {
@@ -230,7 +243,6 @@ func Reconstruct(v *Dense, vals []float64) *Sym {
 		for i := 0; i < v.rows; i++ {
 			col[i] = v.At(i, k)
 		}
-		s.AddOuter(lam, col)
+		dst.AddOuter(lam, col)
 	}
-	return s
 }

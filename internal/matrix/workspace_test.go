@@ -1,0 +1,129 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randSymWS(rng *rand.Rand, n int) *Sym {
+	s := NewSym(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			s.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return s
+}
+
+func randDenseWS(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// TestEigSymWorkMatchesEigSym runs one workspace across a sequence of
+// matrices — including dimension changes — and requires bit-identical
+// results to the allocating path, with the input left untouched.
+func TestEigSymWorkMatchesEigSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ws := NewEigWorkspace()
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(12)
+		s := randSymWS(rng, n)
+		orig := s.Clone()
+
+		wantVals, wantV, err := EigSym(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotVals, gotV, err := EigSymWork(s, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wantVals) != len(gotVals) {
+			t.Fatalf("trial %d: %d vs %d eigenvalues", trial, len(wantVals), len(gotVals))
+		}
+		for i := range wantVals {
+			if wantVals[i] != gotVals[i] {
+				t.Fatalf("trial %d: eigenvalue %d diverges: %v vs %v", trial, i, wantVals[i], gotVals[i])
+			}
+		}
+		if !wantV.Equal(gotV, 0) {
+			t.Fatalf("trial %d: eigenvectors diverge", trial)
+		}
+		if !s.Dense().Equal(orig.Dense(), 0) {
+			t.Fatalf("trial %d: input mutated", trial)
+		}
+	}
+}
+
+// TestSVDWorkMatchesSVD covers both the tall and wide branches with one
+// reused workspace.
+func TestSVDWorkMatchesSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ws := NewSVDWorkspace()
+	for trial := 0; trial < 30; trial++ {
+		r := 1 + rng.Intn(10)
+		c := 1 + rng.Intn(10)
+		a := randDenseWS(rng, r, c)
+		orig := a.Clone()
+
+		wantU, wantS, wantV, err := SVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotU, gotS, gotV, err := SVDWork(a, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wantS) != len(gotS) {
+			t.Fatalf("trial %d: %d vs %d singular values", trial, len(wantS), len(gotS))
+		}
+		for i := range wantS {
+			if wantS[i] != gotS[i] {
+				t.Fatalf("trial %d: σ_%d diverges: %v vs %v", trial, i, wantS[i], gotS[i])
+			}
+		}
+		if !wantU.Equal(gotU, 0) || !wantV.Equal(gotV, 0) {
+			t.Fatalf("trial %d: factors diverge", trial)
+		}
+		if !a.Equal(orig, 0) {
+			t.Fatalf("trial %d: input mutated", trial)
+		}
+	}
+}
+
+// TestFactorQRWorkMatchesFactorQR reuses one workspace across shapes and
+// checks R, Q, and Solve against the allocating path.
+func TestFactorQRWorkMatchesFactorQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ws := NewQRWorkspace()
+	for trial := 0; trial < 30; trial++ {
+		c := 1 + rng.Intn(8)
+		r := c + rng.Intn(8)
+		a := randDenseWS(rng, r, c)
+
+		want := FactorQR(a)
+		got := FactorQRWork(a, ws)
+		if !want.R().Equal(got.R(), 0) {
+			t.Fatalf("trial %d: R diverges", trial)
+		}
+		if !want.Q().Equal(got.Q(), 0) {
+			t.Fatalf("trial %d: Q diverges", trial)
+		}
+		b := make([]float64, r)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xw, xg := want.Solve(b), got.Solve(b)
+		for i := range xw {
+			if xw[i] != xg[i] {
+				t.Fatalf("trial %d: solve diverges at %d", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package node
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+// TestMatSiteHandleRowsMatchesHandleRow feeds the same per-site substreams
+// through two single-threaded local clusters — one row at a time, one in
+// random-length batches through the blocked HandleRows path — and requires
+// identical coordinator state and identical traffic. Under the synchronous
+// in-process wiring the batch path flushes its outbox at exactly the rows
+// where HandleRow would send, so the runs are deterministic replicas.
+func TestMatSiteHandleRowsMatchesHandleRow(t *testing.T) {
+	const m, eps, d = 4, 0.2, 44
+	rows := gen.LowRankMatrix(gen.PAMAPLike(2500))
+
+	perRowCl, err := NewLocalMatCluster(m, eps, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchCl, err := NewLocalMatCluster(m, eps, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for start := 0; start < len(rows); {
+		site := (start / 31) % m
+		end := start + 1 + rng.Intn(64)
+		if end > len(rows) {
+			end = len(rows)
+		}
+		for _, r := range rows[start:end] {
+			if err := perRowCl.Feed(site, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := batchCl.FeedRows(site, rows[start:end]); err != nil {
+			t.Fatal(err)
+		}
+		start = end
+	}
+
+	a, b := perRowCl.Coordinator, batchCl.Coordinator
+	if a.Received() != b.Received() || a.Broadcasts() != b.Broadcasts() {
+		t.Fatalf("traffic diverges: received %d/%d broadcasts %d/%d",
+			a.Received(), b.Received(), a.Broadcasts(), b.Broadcasts())
+	}
+	if a.EstimateFrobenius() != b.EstimateFrobenius() {
+		t.Fatalf("F̂ diverges: %v vs %v", a.EstimateFrobenius(), b.EstimateFrobenius())
+	}
+	diff := a.Gram()
+	diff.SubSym(b.Gram())
+	if diff.MaxAbs() != 0 {
+		t.Fatalf("coordinator Grams diverge by %v", diff.MaxAbs())
+	}
+	for i := range perRowCl.Sites {
+		if sa, sb := perRowCl.Sites[i].Sent(), batchCl.Sites[i].Sent(); sa != sb {
+			t.Fatalf("site %d sent %d per-row vs %d batched", i, sa, sb)
+		}
+	}
+}
+
+// TestMatSiteHandleRowsConcurrent soaks the blocked path under -race: one
+// feeder goroutine per site posting batches concurrently, then checks the
+// covariance guarantee end to end.
+func TestMatSiteHandleRowsConcurrent(t *testing.T) {
+	const m, eps, d = 5, 0.2, 44
+	cl, err := NewLocalMatCluster(m, eps, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := gen.LowRankMatrix(gen.PAMAPLike(3000))
+	perSite := make([][][]float64, m)
+	for i, r := range rows {
+		perSite[i%m] = append(perSite[i%m], r)
+	}
+
+	var wg sync.WaitGroup
+	for site := 0; site < m; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			sub := perSite[site]
+			for start := 0; start < len(sub); start += 100 {
+				end := start + 100
+				if end > len(sub) {
+					end = len(sub)
+				}
+				if err := cl.FeedRows(site, sub[start:end]); err != nil {
+					t.Errorf("feed rows: %v", err)
+					return
+				}
+			}
+		}(site)
+	}
+	wg.Wait()
+
+	exact := matrix.NewSym(d)
+	for _, r := range rows {
+		exact.AddOuter(1, r)
+	}
+	e, err := metrics.CovarianceError(exact, cl.Coordinator.Gram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1.5*eps {
+		t.Fatalf("covariance error %v exceeds 1.5ε=%v", e, 1.5*eps)
+	}
+
+	// HandleRows validates whole batches up front.
+	if err := cl.FeedRows(0, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("expected dimension error from FeedRows")
+	}
+}
+
+// TestMatCoordinatorHandleAll replays a recorded message sequence through
+// Handle and HandleAll and requires identical state and broadcasts.
+func TestMatCoordinatorHandleAll(t *testing.T) {
+	const m, eps, d = 3, 0.3, 8
+	rng := rand.New(rand.NewSource(8))
+	var ms []Message
+	for i := 0; i < 500; i++ {
+		if rng.Intn(3) == 0 {
+			ms = append(ms, Message{Kind: KindTotal, Site: rng.Intn(m), Value: 1 + rng.Float64()})
+		} else {
+			vec := make([]float64, d)
+			for j := range vec {
+				vec[j] = rng.NormFloat64()
+			}
+			ms = append(ms, Message{Kind: KindRow, Site: rng.Intn(m), Vec: vec})
+		}
+	}
+
+	var bcastA, bcastB []float64
+	a, err := NewMatCoordinator(m, eps, d, SenderFunc(func(msg Message) error {
+		bcastA = append(bcastA, msg.Value)
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMatCoordinator(m, eps, d, SenderFunc(func(msg Message) error {
+		bcastB = append(bcastB, msg.Value)
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, msg := range ms {
+		if err := a.Handle(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.HandleAll(ms); err != nil {
+		t.Fatal(err)
+	}
+
+	if a.Received() != b.Received() || a.Broadcasts() != b.Broadcasts() {
+		t.Fatalf("traffic diverges: received %d/%d broadcasts %d/%d",
+			a.Received(), b.Received(), a.Broadcasts(), b.Broadcasts())
+	}
+	if len(bcastA) != len(bcastB) {
+		t.Fatalf("broadcast counts diverge: %d vs %d", len(bcastA), len(bcastB))
+	}
+	for i := range bcastA {
+		if bcastA[i] != bcastB[i] {
+			t.Fatalf("broadcast %d diverges: %v vs %v", i, bcastA[i], bcastB[i])
+		}
+	}
+	diff := a.Gram()
+	diff.SubSym(b.Gram())
+	if diff.MaxAbs() != 0 {
+		t.Fatalf("Grams diverge by %v", diff.MaxAbs())
+	}
+
+	// A malformed message stops the batch at its index with the prefix
+	// applied.
+	if err := b.HandleAll([]Message{{Kind: KindRow, Vec: []float64{1}}}); err == nil {
+		t.Fatal("expected dimension error from HandleAll")
+	}
+}

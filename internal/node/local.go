@@ -73,6 +73,14 @@ type LocalMatCluster struct {
 	Sites       []*MatSite
 }
 
+// matCoordSender is the in-process site→coordinator link: single messages
+// go through Handle, and a site's whole outbox goes through HandleAll so
+// the coordinator amortizes its lock across the batch (BatchSender).
+type matCoordSender struct{ c *MatCoordinator }
+
+func (s matCoordSender) Send(m Message) error       { return s.c.Handle(m) }
+func (s matCoordSender) SendAll(ms []Message) error { return s.c.HandleAll(ms) }
+
 // NewLocalMatCluster builds the in-process deployment of matrix P2.
 func NewLocalMatCluster(m int, eps float64, d int) (*LocalMatCluster, error) {
 	fo := &fanout{}
@@ -82,7 +90,7 @@ func NewLocalMatCluster(m int, eps float64, d int) (*LocalMatCluster, error) {
 	}
 	cl := &LocalMatCluster{Coordinator: coord}
 	for i := 0; i < m; i++ {
-		site, err := NewMatSite(i, m, eps, d, SenderFunc(coord.Handle))
+		site, err := NewMatSite(i, m, eps, d, matCoordSender{coord})
 		if err != nil {
 			return nil, err
 		}
@@ -98,4 +106,13 @@ func (c *LocalMatCluster) Feed(site int, row []float64) error {
 		return fmt.Errorf("node: site %d out of range [0,%d)", site, len(c.Sites))
 	}
 	return c.Sites[site].HandleRow(row)
+}
+
+// FeedRows delivers a batch of rows to a site through the blocked ingest
+// path.
+func (c *LocalMatCluster) FeedRows(site int, rows [][]float64) error {
+	if site < 0 || site >= len(c.Sites) {
+		return fmt.Errorf("node: site %d out of range [0,%d)", site, len(c.Sites))
+	}
+	return c.Sites[site].HandleRows(rows)
 }

@@ -52,7 +52,49 @@ func NewMatCoordinator(m int, eps float64, d int, broadcast Sender) (*MatCoordin
 // Handle processes one site message.
 func (c *MatCoordinator) Handle(m Message) error {
 	c.mu.Lock()
-	var toSend *Message
+	toSend, err := c.handleLocked(m)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if toSend != nil {
+		return c.broadcast.Send(*toSend)
+	}
+	return nil
+}
+
+// HandleAll processes a batch of site messages: the coordinator half of
+// the blocked ingest path. The lock is held across runs of messages that
+// trigger no broadcast, and released to send at exactly the messages where
+// per-message handling would broadcast, so the broadcast sequence is
+// identical to calling Handle once per message. A bad message stops the
+// batch at its index; the preceding messages remain applied.
+func (c *MatCoordinator) HandleAll(ms []Message) error {
+	for i := 0; i < len(ms); {
+		c.mu.Lock()
+		var toSend *Message
+		for i < len(ms) && toSend == nil {
+			var err error
+			toSend, err = c.handleLocked(ms[i])
+			if err != nil {
+				c.mu.Unlock()
+				return fmt.Errorf("message %d: %w", i, err)
+			}
+			i++
+		}
+		c.mu.Unlock()
+		if toSend != nil {
+			if err := c.broadcast.Send(*toSend); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// handleLocked applies one message with c.mu held, returning a broadcast
+// to send after the lock is released.
+func (c *MatCoordinator) handleLocked(m Message) (*Message, error) {
 	switch m.Kind {
 	case KindTotal:
 		c.received++
@@ -62,25 +104,18 @@ func (c *MatCoordinator) Handle(m Message) error {
 			c.nmsg = 0
 			c.bcasts++
 			c.history = append(c.history, c.fhat)
-			toSend = &Message{Kind: KindEstimate, Value: c.fhat}
+			return &Message{Kind: KindEstimate, Value: c.fhat}, nil
 		}
 	case KindRow:
 		if len(m.Vec) != c.d {
-			c.mu.Unlock()
-			return fmt.Errorf("node: row of length %d, want %d", len(m.Vec), c.d)
+			return nil, fmt.Errorf("node: row of length %d, want %d", len(m.Vec), c.d)
 		}
 		c.received++
 		c.gram.AddOuter(1, m.Vec)
 	default:
-		c.mu.Unlock()
-		return fmt.Errorf("node: coordinator received %v message", m.Kind)
+		return nil, fmt.Errorf("node: coordinator received %v message", m.Kind)
 	}
-	c.mu.Unlock()
-
-	if toSend != nil {
-		return c.broadcast.Send(*toSend)
-	}
-	return nil
+	return nil, nil
 }
 
 // Gram returns a copy of the coordinator's BᵀB approximation.

@@ -25,6 +25,7 @@ type MatSite struct {
 	fdelta   float64
 	lamBound float64
 	sent     int64
+	eigWS    *matrix.EigWorkspace // reusable decomposition scratch (under mu)
 
 	out Sender
 }
@@ -59,16 +60,59 @@ func (s *MatSite) ID() int { return s.id }
 
 // HandleRow processes one matrix row arriving at this site.
 func (s *MatSite) HandleRow(row []float64) error {
+	if err := s.checkRow(row); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	outbox := s.ingestLocked(row, nil)
+	s.mu.Unlock()
+	return sendAll(s.out, outbox)
+}
+
+// HandleRows processes a batch of rows arriving at this site: the blocked
+// ingest entry point. The site lock is held across runs of rows that
+// trigger no messages (the common case), and released to flush the outbox
+// at exactly the rows where the per-row path would send — so under the
+// synchronous in-process wiring the message sequence is identical to
+// calling HandleRow once per row. Unlike HandleRow, the whole batch is
+// validated up front: a bad row fails the call before any row is ingested.
+func (s *MatSite) HandleRows(rows [][]float64) error {
+	for i, row := range rows {
+		if err := s.checkRow(row); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	for i := 0; i < len(rows); {
+		s.mu.Lock()
+		var outbox []Message
+		for i < len(rows) && len(outbox) == 0 {
+			outbox = s.ingestLocked(rows[i], outbox)
+			i++
+		}
+		s.mu.Unlock()
+		if err := sendAll(s.out, outbox); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkRow validates a row before ingestion.
+func (s *MatSite) checkRow(row []float64) error {
 	if len(row) != s.d {
 		return fmt.Errorf("node: row of length %d, want %d", len(row), s.d)
 	}
-	w := matrix.NormSq(row)
-	if w <= 0 {
+	if matrix.NormSq(row) <= 0 {
 		return fmt.Errorf("node: need positive row norm")
 	}
+	return nil
+}
 
-	s.mu.Lock()
-	var outbox []Message
+// ingestLocked runs the per-row protocol step with s.mu held, appending any
+// triggered messages to outbox.
+func (s *MatSite) ingestLocked(row []float64, outbox []Message) []Message {
+	w := matrix.NormSq(row)
+	before := len(outbox)
 
 	s.fdelta += w
 	if s.fdelta >= (s.eps/float64(s.m))*s.fhat {
@@ -81,22 +125,18 @@ func (s *MatSite) HandleRow(row []float64) error {
 	if s.lamBound >= (s.eps/float64(s.m))*s.fhat {
 		outbox = append(outbox, s.decompose()...)
 	}
-	s.sent += int64(len(outbox))
-	s.mu.Unlock()
-
-	for _, m := range outbox {
-		if err := s.out.Send(m); err != nil {
-			return err
-		}
-	}
-	return nil
+	s.sent += int64(len(outbox) - before)
+	return outbox
 }
 
 // decompose runs the svd step with the lock held and returns the row
 // messages to ship: every direction with σ² ≥ (ε/2m)·F̂ (see internal/core
 // for why shipping at half the limit is sound and cheaper).
 func (s *MatSite) decompose() []Message {
-	vals, vecs, err := matrix.EigSym(s.gram)
+	if s.eigWS == nil {
+		s.eigWS = matrix.NewEigWorkspace()
+	}
+	vals, vecs, err := matrix.EigSymWork(s.gram, s.eigWS)
 	if err != nil {
 		vals, vecs, err = matrix.JacobiEigSym(s.gram)
 		if err != nil {

@@ -86,6 +86,27 @@ type SenderFunc func(Message) error
 // Send implements Sender.
 func (f SenderFunc) Send(m Message) error { return f(m) }
 
+// BatchSender is a Sender that can deliver a whole outbox in one call —
+// the receiving end amortizes its locking across the batch. The blocked
+// site paths probe for it; plain Senders get the messages one at a time.
+type BatchSender interface {
+	Sender
+	SendAll(ms []Message) error
+}
+
+// sendAll delivers an outbox through out's batch path when it has one.
+func sendAll(out Sender, ms []Message) error {
+	if bs, ok := out.(BatchSender); ok {
+		return bs.SendAll(ms)
+	}
+	for _, m := range ms {
+		if err := out.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func validate(m int, eps float64) error {
 	if m < 1 {
 		return fmt.Errorf("node: need m ≥ 1 sites, got %d", m)

@@ -12,6 +12,7 @@ type TrackerMetrics struct {
 
 	Count    int64 `json:"count"`    // total rows/items in the session
 	Ingested int64 `json:"ingested"` // applied since create/restore
+	Batches  int64 `json:"batches"`  // blocked batches applied
 	Rejected int64 `json:"rejected"` // batches refused by backpressure
 	QueueLen int   `json:"queue_len"`
 
@@ -50,6 +51,7 @@ func (t *Tracker) metrics() TrackerMetrics {
 
 		Count:    count,
 		Ingested: t.ingested.Load(),
+		Batches:  t.batches.Load(),
 		Rejected: t.rejected.Load(),
 		QueueLen: t.QueueLen(),
 

@@ -55,6 +55,7 @@ type Tracker struct {
 	deleted atomic.Bool
 
 	ingested atomic.Int64 // rows/items applied
+	batches  atomic.Int64 // batches applied (rows/items ÷ batches = mean block size)
 	rejected atomic.Int64 // batches refused by backpressure
 	lastCkpt atomic.Int64 // unix nanos of the last successful checkpoint
 	ckptErr  atomic.Value // string: last checkpoint failure, "" when clean
@@ -104,7 +105,10 @@ func (t *Tracker) worker(q chan ingestReq) {
 	}
 }
 
-// apply ingests one batch. On a mid-batch error the preceding entries
+// apply ingests one batch. Row batches flow through the session's blocked
+// batch path (Session.ProcessRows(At) hands whole same-site blocks to the
+// tracker's BatchTracker fast path), so a posted batch costs one blocked
+// ingest, not a per-row loop. On a mid-batch error the preceding entries
 // remain ingested (the session contract); the error reports the index.
 func (t *Tracker) apply(req ingestReq) error {
 	t.mu.Lock()
@@ -127,6 +131,7 @@ func (t *Tracker) apply(req ingestReq) error {
 	}
 	if n := t.sess.Count() - before; n > 0 {
 		t.ingested.Add(n)
+		t.batches.Add(1)
 		t.dirty = true
 	}
 	return err

@@ -1,0 +1,110 @@
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// FDSnapshot is a self-contained, gob/json-encodable image of an FD
+// sketch. Snapshot/RestoreFD round-trips are bit-exact: every float is
+// carried verbatim, so a restored sketch answers every query identically
+// and continues ingesting on exactly the same trajectory. The blocked
+// equivalence fuzz harness leans on this to compare ingest paths through
+// their persisted form.
+type FDSnapshot struct {
+	Ell   int
+	D     int
+	Block int
+	Exact bool
+
+	// Exact mode: the raw d×d Gram storage.
+	Gram []float64
+
+	// Sketch mode: the factored eigenpairs (Vecs is row-major d×len(Vals),
+	// the retained eigenvector columns) and the raw buffered rows.
+	Vals []float64
+	Vecs []float64
+	Buf  [][]float64
+
+	Appended int
+	Total    float64
+	Deducted float64
+	Shrinks  int64
+}
+
+// Snapshot captures the sketch's complete state.
+func (f *FD) Snapshot() FDSnapshot {
+	s := FDSnapshot{
+		Ell:      f.ell,
+		D:        f.d,
+		Block:    f.bufCap,
+		Exact:    f.exact,
+		Appended: f.appended,
+		Total:    f.total,
+		Deducted: f.deducted,
+		Shrinks:  f.shrinks,
+	}
+	if f.exact {
+		s.Gram = f.gram.RawData()
+		return s
+	}
+	keep := len(f.vals)
+	s.Vals = append([]float64(nil), f.vals...)
+	s.Vecs = make([]float64, f.d*keep)
+	for i := 0; i < f.d; i++ {
+		for k := 0; k < keep; k++ {
+			s.Vecs[i*keep+k] = f.vecs.At(i, k)
+		}
+	}
+	s.Buf = make([][]float64, f.buf.Rows())
+	for i := range s.Buf {
+		s.Buf[i] = f.buf.RowCopy(i)
+	}
+	return s
+}
+
+// RestoreFD rebuilds a sketch from a snapshot.
+func RestoreFD(s FDSnapshot) (*FD, error) {
+	if s.Ell < 1 || s.D < 1 || s.Block < 1 {
+		return nil, fmt.Errorf("sketch: FD snapshot needs ℓ,d,block ≥ 1, got %d,%d,%d", s.Ell, s.D, s.Block)
+	}
+	if s.Exact != (s.Ell >= s.D) {
+		return nil, fmt.Errorf("sketch: FD snapshot mode %v inconsistent with ℓ=%d d=%d", s.Exact, s.Ell, s.D)
+	}
+	f := NewFDBuffered(s.Ell, s.D, s.Block)
+	f.appended = s.Appended
+	f.total = s.Total
+	f.deducted = s.Deducted
+	f.shrinks = s.Shrinks
+	if s.Exact {
+		if len(s.Gram) != s.D*s.D {
+			return nil, fmt.Errorf("sketch: FD snapshot Gram has %d values, want %d", len(s.Gram), s.D*s.D)
+		}
+		f.gram = matrix.SymFromRaw(s.D, s.Gram)
+		return f, nil
+	}
+	keep := len(s.Vals)
+	if keep > s.D || len(s.Vecs) != s.D*keep {
+		return nil, fmt.Errorf("sketch: FD snapshot has %d eigenvalues and %d eigenvector entries for d=%d", keep, len(s.Vecs), s.D)
+	}
+	f.vals = append(f.vals[:0], s.Vals...)
+	for i := 0; i < s.D; i++ {
+		for k := 0; k < keep; k++ {
+			f.vecs.Set(i, k, s.Vecs[i*keep+k])
+		}
+	}
+	// compress() fires the moment the buffer reaches the block size, so a
+	// legitimate snapshot always holds strictly fewer buffered rows; a full
+	// buffer would break the Append ≡ AppendRows compression schedule.
+	if len(s.Buf) >= s.Block {
+		return nil, fmt.Errorf("sketch: FD snapshot buffers %d rows, block is %d", len(s.Buf), s.Block)
+	}
+	for i, row := range s.Buf {
+		if len(row) != s.D {
+			return nil, fmt.Errorf("sketch: FD snapshot buffered row %d has length %d, want %d", i, len(row), s.D)
+		}
+		f.buf.AppendRow(row)
+	}
+	return f, nil
+}

@@ -64,8 +64,18 @@ func RankKError(exact *Sym, k int) (float64, error) { return metrics.RankKError(
 type FrequentDirections = sketch.FD
 
 // NewFrequentDirections returns an ℓ-row FD sketch for d-dimensional rows
-// with deterministic error ‖A‖²_F/(ℓ+1).
+// with deterministic error ‖A‖²_F/(ℓ+1), using the default 2ℓ-row blocked
+// ingest buffer (one factorization per 2ℓ rows; see AppendRows for batch
+// ingestion).
 func NewFrequentDirections(ell, d int) *FrequentDirections { return sketch.NewFD(ell, d) }
+
+// NewFrequentDirectionsBuffered returns an FD sketch with an explicit
+// ingest-block size: one factorize-and-shrink pass per block rows. Block 1
+// is the unblocked row-at-a-time baseline the blocked benchmarks compare
+// against; the error guarantee is identical for every block size.
+func NewFrequentDirectionsBuffered(ell, d, block int) *FrequentDirections {
+	return sketch.NewFDBuffered(ell, d, block)
+}
 
 // ---- deprecated positional constructors ----
 //

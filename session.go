@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/quantile"
 )
@@ -250,27 +251,77 @@ func (s *Session) ingestRow(site int, row []float64) {
 	s.count++
 }
 
-// ProcessRows ingests a batch of matrix rows. On error the rows preceding
-// the offending one remain ingested; the error reports its index.
-func (s *Session) ProcessRows(rows [][]float64) error {
-	for i, row := range rows {
-		if err := s.ProcessRow(row); err != nil {
-			return fmt.Errorf("row %d: %w", i, err)
+// ingestRows routes a validated same-site batch through the tracker's
+// blocked fast path (core.BatchTracker) when it has one.
+func (s *Session) ingestRows(site int, rows [][]float64) {
+	if len(rows) == 0 {
+		return
+	}
+	core.ProcessRows(s.mat, site, rows)
+	if s.exact != nil {
+		for _, row := range rows {
+			s.exact.AddOuter(1, row)
 		}
 	}
-	return nil
+	s.count += int64(len(rows))
 }
 
-// ProcessRowsAt ingests a batch of matrix rows at an explicit site. On
-// error the rows preceding the offending one remain ingested; the error
-// reports its index.
-func (s *Session) ProcessRowsAt(site int, rows [][]float64) error {
+// validRowPrefix returns the length of the longest prefix of rows with the
+// session's dimension, and an indexed ErrDimensionMismatch for the first
+// offending row (nil if none).
+func (s *Session) validRowPrefix(rows [][]float64) (int, error) {
 	for i, row := range rows {
-		if err := s.ProcessRowAt(site, row); err != nil {
-			return fmt.Errorf("row %d: %w", i, err)
+		if len(row) != s.cfg.Dim {
+			return i, fmt.Errorf("row %d: %w: row of length %d, want %d",
+				i, ErrDimensionMismatch, len(row), s.cfg.Dim)
 		}
 	}
-	return nil
+	return len(rows), nil
+}
+
+// ProcessRows ingests a batch of matrix rows through the blocked batch
+// path: rows are dealt to sites by the session's assigner in order, and
+// consecutive same-site runs are handed to the tracker as one block. The
+// result — tracker state, message tallies, assigner draws — is identical
+// to calling ProcessRow once per row. On error the valid rows preceding
+// the offending one remain ingested; the error reports its index.
+func (s *Session) ProcessRows(rows [][]float64) error {
+	if s.kind != matrixKind {
+		return fmt.Errorf("%w: ProcessRows on a %s session", ErrWrongKind, s.kind)
+	}
+	n, dimErr := s.validRowPrefix(rows)
+	// Draw sites for the valid prefix in row order (the per-row path draws
+	// before each ingest; the interleaving is unobservable).
+	sites := make([]int, n)
+	for i := range sites {
+		sites[i] = s.asg.Next()
+	}
+	s.draws += int64(n)
+	for start := 0; start < n; {
+		end := start + 1
+		for end < n && sites[end] == sites[start] {
+			end++
+		}
+		s.ingestRows(sites[start], rows[start:end])
+		start = end
+	}
+	return dimErr
+}
+
+// ProcessRowsAt ingests a batch of matrix rows at an explicit site as one
+// block through the tracker's batch fast path — the hot ingestion surface
+// the service layer drives. On error the valid rows preceding the
+// offending one remain ingested; the error reports its index.
+func (s *Session) ProcessRowsAt(site int, rows [][]float64) error {
+	if s.kind != matrixKind {
+		return fmt.Errorf("%w: ProcessRowsAt on a %s session", ErrWrongKind, s.kind)
+	}
+	if site < 0 || site >= s.cfg.Sites {
+		return fmt.Errorf("%w: site %d outside [0, %d)", ErrInvalidSite, site, s.cfg.Sites)
+	}
+	n, dimErr := s.validRowPrefix(rows)
+	s.ingestRows(site, rows[:n])
+	return dimErr
 }
 
 // ProcessItem ingests one weighted item: (element, weight) for

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench experiments fmt vet
+.PHONY: build test race bench bench-compare perf-guard experiments fmt vet
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,23 @@ BENCH_FLAGS ?= -quick
 bench:
 	$(GO) run ./cmd/experiments $(BENCH_FLAGS) -bench-json BENCH_ingest.json
 	@cat BENCH_ingest.json
+
+# benchstat-style old-vs-new comparison: regenerate into a scratch file and
+# diff it against the committed artifact, promoting the new numbers only
+# when the comparison passes — a -fail-over failure leaves the committed
+# baseline untouched (and BENCH_ingest.new.json behind for inspection).
+# COMPARE_FLAGS="-fail-over 20" makes a >20% rows/sec regression fail.
+COMPARE_FLAGS ?=
+bench-compare:
+	$(GO) run ./cmd/experiments $(BENCH_FLAGS) -bench-json BENCH_ingest.new.json
+	$(GO) run ./cmd/benchcompare $(COMPARE_FLAGS) BENCH_ingest.json BENCH_ingest.new.json
+	@mv BENCH_ingest.new.json BENCH_ingest.json
+
+# The in-tree perf floors: the ≥5× fast-ingest speedup guard, the exact-mode
+# batch never-slower guard, the FD blocked-ingest guard, and the
+# steady-state zero-allocation assertions. CI runs exactly this target.
+perf-guard:
+	$(GO) test -run 'TestFastIngestSpeedupGuard|TestBatchDispatchNeverSlower|TestFastSiteHotPathAllocs|TestFastSiteSteadyStateAllocs|TestBlockedFDSpeedupGuard' -v -count=1 ./internal/core ./internal/node ./internal/sketch
 
 # Full figure/table regeneration (minutes).
 experiments:

@@ -1,0 +1,94 @@
+// benchcompare diffs two BENCH_ingest.json documents (benchstat-style):
+//
+//	benchcompare [-fail-over PCT] OLD.json NEW.json
+//
+// Entries are aligned by (problem, protocol); for each shared entry it
+// prints old and new rows/sec with the speedup ratio, and old and new
+// messages-per-update side by side. Entries present in only one document
+// are listed as added/removed. With -fail-over set, the exit status is
+// non-zero when any shared entry's rows/sec regresses by more than PCT
+// percent — the guard `make bench-compare` offers CI and local runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	failOver := flag.Float64("fail-over", 0, "exit non-zero if any shared entry's rows/sec regresses by more than this percentage (0 disables)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchcompare [-fail-over PCT] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldDoc, err := experiments.ReadIngestBenchJSON(flag.Arg(0))
+	if err != nil {
+		fatalf("reading %s: %v", flag.Arg(0), err)
+	}
+	newDoc, err := experiments.ReadIngestBenchJSON(flag.Arg(1))
+	if err != nil {
+		fatalf("reading %s: %v", flag.Arg(1), err)
+	}
+
+	key := func(r experiments.IngestResult) string { return r.Problem + "/" + r.Protocol }
+	olds := make(map[string]experiments.IngestResult)
+	for _, r := range oldDoc.Results {
+		olds[key(r)] = r
+	}
+	news := make(map[string]experiments.IngestResult)
+	var order []string
+	for _, r := range newDoc.Results {
+		k := key(r)
+		news[k] = r
+		order = append(order, k)
+	}
+
+	fmt.Printf("%-28s %14s %14s %8s   %s\n", "entry", "old rows/s", "new rows/s", "ratio", "msgs/update old→new")
+	regressed := false
+	for _, k := range order {
+		n := news[k]
+		o, ok := olds[k]
+		if !ok {
+			fmt.Printf("%-28s %14s %14.0f %8s   %.4f (added)\n", k, "—", n.RowsPerSec, "—", n.MessagesPerUpdate)
+			continue
+		}
+		ratio := 0.0
+		if o.RowsPerSec > 0 {
+			ratio = n.RowsPerSec / o.RowsPerSec
+		}
+		mark := ""
+		if *failOver > 0 && ratio > 0 && ratio < 1-*failOver/100 {
+			mark = "  << regression"
+			regressed = true
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %7.2fx   %.4f → %.4f%s\n",
+			k, o.RowsPerSec, n.RowsPerSec, ratio, o.MessagesPerUpdate, n.MessagesPerUpdate, mark)
+	}
+	var removed []string
+	for k := range olds {
+		if _, ok := news[k]; !ok {
+			removed = append(removed, k)
+		}
+	}
+	sort.Strings(removed)
+	for _, k := range removed {
+		fmt.Printf("%-28s %14.0f %14s %8s   (removed)\n", k, olds[k].RowsPerSec, "—", "—")
+	}
+	if regressed {
+		fatalf("rows/sec regression beyond %.0f%% detected", *failOver)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcompare: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -40,6 +40,14 @@ type Config struct {
 	// alongside the protocol's approximation, for evaluation. Costs O(d²)
 	// per row.
 	TrackExact bool
+	// FastIngest switches the matrix protocols that support it (p1, p2,
+	// p2small) to the blocked fast ingest mode: batch ingestion folds whole
+	// row blocks with rank-k updates and defers the per-site
+	// eigendecomposition/merge work to block boundaries. The covariance
+	// guarantee holds at every batch boundary and P1's message counts stay
+	// identical; see the internal/core IngestMode documentation for the
+	// exact contract. Off (byte-identical exact mode) by default.
+	FastIngest bool
 	// Assigner overrides the session's site assigner. When nil, sessions
 	// use NewUniformRandom(Sites, Seed) — the paper's arrival model.
 	Assigner Assigner
@@ -83,6 +91,10 @@ func WithWindow(window int) Option { return func(c *Config) { c.Window = window 
 // WithExactTracking makes a matrix Session maintain the exact Gram AᵀA for
 // evaluation alongside the approximation.
 func WithExactTracking() Option { return func(c *Config) { c.TrackExact = true } }
+
+// WithFastIngest switches the matrix protocols that support it to the
+// blocked fast ingest mode (see Config.FastIngest).
+func WithFastIngest() Option { return func(c *Config) { c.FastIngest = true } }
 
 // WithAssigner overrides the session's site assigner (e.g. NewRoundRobin).
 // When Sites was not also set it is adopted from the assigner; an

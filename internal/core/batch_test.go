@@ -61,11 +61,13 @@ func feedBatched(t Tracker, rows [][]float64, sites []int, splitSeed int64) {
 	}
 }
 
-func TestBatchIngestionMatchesPerRowMessageCounts(t *testing.T) {
-	const m, d, n = 5, 12, 4000
-	rows, sites := batchStream(11, n, d, m, 37)
-
-	builders := []struct {
+// exactModeBuilders are the trackers whose blocked ProcessRows must stay
+// byte-identical to per-row ingestion (the exact-mode oracle).
+func exactModeBuilders(m, d int) []struct {
+	name  string
+	build func() Tracker
+} {
+	return []struct {
 		name  string
 		build func() Tracker
 	}{
@@ -81,25 +83,56 @@ func TestBatchIngestionMatchesPerRowMessageCounts(t *testing.T) {
 			return NewWindowedTracker(600, func() Tracker { return NewP2(m, 0.15, d) })
 		}},
 	}
-	for _, bc := range builders {
-		t.Run(bc.name, func(t *testing.T) {
-			perRow := bc.build()
-			feedPerRow(perRow, rows, sites)
-			batched := bc.build()
-			feedBatched(batched, rows, sites, 77)
+}
 
-			if a, b := perRow.Stats(), batched.Stats(); a != b {
-				t.Fatalf("message tallies diverge:\nper-row: %v\nbatched: %v", a, b)
-			}
-			if a, b := perRow.EstimateFrobenius(), batched.EstimateFrobenius(); a != b {
-				t.Fatalf("Frobenius estimates diverge: %v vs %v", a, b)
-			}
-			ga, gb := perRow.Gram(), batched.Gram()
-			diff := ga.Clone()
-			diff.SubSym(gb)
-			if diff.MaxAbs() != 0 {
-				t.Fatalf("coordinator Grams diverge by %v", diff.MaxAbs())
-			}
+// assertByteIdentical feeds the same stream per-row and batched (at the
+// given split seed) through fresh instances and requires bit-equal state.
+func assertByteIdentical(t *testing.T, build func() Tracker, rows [][]float64, sites []int, splitSeed int64) {
+	t.Helper()
+	perRow := build()
+	feedPerRow(perRow, rows, sites)
+	batched := build()
+	feedBatched(batched, rows, sites, splitSeed)
+
+	if a, b := perRow.Stats(), batched.Stats(); a != b {
+		t.Fatalf("message tallies diverge:\nper-row: %v\nbatched: %v", a, b)
+	}
+	if a, b := perRow.EstimateFrobenius(), batched.EstimateFrobenius(); a != b {
+		t.Fatalf("Frobenius estimates diverge: %v vs %v", a, b)
+	}
+	ga, gb := perRow.Gram(), batched.Gram()
+	diff := ga.Clone()
+	diff.SubSym(gb)
+	if diff.MaxAbs() != 0 {
+		t.Fatalf("coordinator Grams diverge by %v", diff.MaxAbs())
+	}
+}
+
+func TestBatchIngestionMatchesPerRowMessageCounts(t *testing.T) {
+	const m, d, n = 5, 12, 4000
+	rows, sites := batchStream(11, n, d, m, 37)
+	for _, bc := range exactModeBuilders(m, d) {
+		t.Run(bc.name, func(t *testing.T) {
+			assertByteIdentical(t, bc.build, rows, sites, 77)
 		})
+	}
+}
+
+// TestExactModeByteIdentityAdversarial is the cross-mode harness's exact
+// half: on the same adversarial streams the fast-path property tests use
+// (spiky mass, a single hot site, near-threshold hovering — see
+// fastpath_test.go), exact-mode blocked ingest must stay byte-identical to
+// per-row ingestion for every protocol. The fast half of the harness —
+// bound preservation and message factors on these streams — lives in
+// TestFastModeCovarianceBound and TestFastModeMessageFactor.
+func TestExactModeByteIdentityAdversarial(t *testing.T) {
+	const n, d, m = 3000, 16, 5
+	for streamName, buildStream := range adversarialStreams(n, d, m) {
+		rows, sites := buildStream()
+		for _, bc := range exactModeBuilders(m, d) {
+			t.Run(streamName+"/"+bc.name, func(t *testing.T) {
+				assertByteIdentical(t, bc.build, rows, sites, 99)
+			})
+		}
 	}
 }

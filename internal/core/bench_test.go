@@ -11,9 +11,10 @@ import (
 var benchRows = gen.LowRankMatrix(gen.PAMAPLike(8_000))
 
 // benchTracker measures full-stream throughput of one tracker and reports
-// its message count.
+// its message count and allocation profile.
 func benchTracker(b *testing.B, build func() Tracker) {
 	b.Helper()
+	b.ReportAllocs()
 	var msgs int64
 	for i := 0; i < b.N; i++ {
 		t := build()
@@ -22,6 +23,43 @@ func benchTracker(b *testing.B, build func() Tracker) {
 	}
 	b.ReportMetric(float64(msgs), "msgs")
 	b.ReportMetric(float64(len(benchRows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkMatrixIngestModes compares exact and fast ingest on identical
+// per-site block feeds for the headline protocols: the benchmark behind the
+// BENCH_ingest.json p1-blocked/p2-blocked entries and the ≥5× speedup guard
+// (TestFastIngestSpeedupGuard).
+func BenchmarkMatrixIngestModes(b *testing.B) {
+	const m, d, block = 10, 44, 1024
+	builders := []struct {
+		name  string
+		build func() BatchTracker
+	}{
+		{"p1-exact", func() BatchTracker { return NewP1(m, 0.1, d) }},
+		{"p1-fast", func() BatchTracker { return NewP1Fast(m, 0.1, d) }},
+		{"p2-exact", func() BatchTracker { return NewP2(m, 0.1, d) }},
+		{"p2-fast", func() BatchTracker { return NewP2Fast(m, 0.1, d) }},
+	}
+	for _, bc := range builders {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				t := bc.build()
+				for j, site := 0, 0; j < len(benchRows); j += block {
+					end := j + block
+					if end > len(benchRows) {
+						end = len(benchRows)
+					}
+					t.ProcessRows(site, benchRows[j:end])
+					site = (site + 1) % m
+				}
+				msgs = t.Stats().Total()
+			}
+			b.ReportMetric(float64(msgs), "msgs")
+			b.ReportMetric(float64(len(benchRows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
 }
 
 func BenchmarkMatrixP1(b *testing.B) {

@@ -44,6 +44,51 @@ type Tracker interface {
 	Stats() stream.Stats
 }
 
+// IngestMode selects a tracker's batch-ingestion arithmetic. Trackers
+// default to IngestExact; the *Fast constructors opt in to IngestFast.
+type IngestMode int
+
+const (
+	// IngestExact is the byte-identical mode: ProcessRows reproduces
+	// row-at-a-time ProcessRow bit for bit — same state, same message
+	// tallies, every per-row trigger evaluated at its exact row index. It
+	// is the oracle the cross-mode equivalence tests compare against.
+	IngestExact IngestMode = iota
+
+	// IngestFast is the blocked mode: a whole known-mass prefix folds into
+	// the site state with one rank-k update (matrix.Sym.AddBlock /
+	// sketch.FD.AppendRows) and the expensive eigendecomposition or merge
+	// work runs once per block instead of once per row. The documented
+	// relaxations, per protocol:
+	//
+	//   - P1: message counts and ship rows are identical to exact mode (the
+	//     ship trigger reads only the scalar mass side-channel); only the
+	//     coordinator's merge arithmetic changes — shipped sketch Grams
+	//     accumulate directly instead of re-running FD compression, which
+	//     never increases the error (fewer shrink deductions).
+	//   - P2/P2small: scalar F̂ messages stay at their exact row indices,
+	//     but the site eigendecomposition is deferred to the end of the
+	//     block that crosses the λ₁ + newMass bound, so row-ship messages
+	//     may coalesce (never exceeding exact mode's count on the same
+	//     blocks by more than the ship-early factor of 2 already documented
+	//     on P2.shipFrac). Blocked Gram updates reassociate floating-point
+	//     sums, so sketch contents may differ from exact mode in the last
+	//     ulps.
+	//
+	// In every mode the covariance guarantee 0 ≤ ‖Ax‖² − ‖Bx‖² ≤ ε‖A‖²_F
+	// holds at each batch boundary; exact mode additionally holds it at
+	// every row.
+	IngestFast
+)
+
+// String names the mode for reports and bench artifacts.
+func (m IngestMode) String() string {
+	if m == IngestFast {
+		return "fast"
+	}
+	return "exact"
+}
+
 // BatchTracker is implemented by trackers with a blocked batch-ingestion
 // fast path. ProcessRows must be observationally identical to calling
 // ProcessRow once per row in order: same final tracker state and the same

@@ -22,12 +22,18 @@ type P1 struct {
 	m, d int
 	eps  float64
 	acct *stream.Accountant
+	mode IngestMode
 
 	sites []p1site
-	// Coordinator state.
-	merged *sketch.FD
-	tally  float64 // F_C
-	fhat   float64 // F̂: last broadcast estimate
+	// Coordinator state. Exact mode merges shipped site sketches into an FD
+	// sketch (one compression per ship); fast mode accumulates their Grams
+	// directly into coordGram — same messages at the same rows, no
+	// coordinator factorizations, and an error that is never larger (direct
+	// accumulation skips the merge's extra shrink deductions).
+	merged    *sketch.FD
+	coordGram *matrix.Sym
+	tally     float64 // F_C
+	fhat      float64 // F̂: last broadcast estimate
 }
 
 type p1site struct {
@@ -39,22 +45,44 @@ type p1site struct {
 // coordinator FD sketches use ℓ = ⌈2/ε⌉ rows (error ε/2 each, ε in total
 // with the unsent site mass).
 func NewP1(m int, eps float64, d int) *P1 {
+	p, ell := newP1(m, eps, d)
+	p.merged = sketch.NewFD(ell, d)
+	return p
+}
+
+// NewP1Fast builds the protocol in the blocked fast ingest mode: ship
+// points and message counts are identical to exact mode (the ship trigger
+// reads only the scalar mass side-channel), but shipped site sketches
+// accumulate into a coordinator Gram without re-running FD compression
+// (see IngestFast). Only the mode's own coordinator representation is
+// allocated: coordGram here, the merged FD sketch in exact mode.
+func NewP1Fast(m int, eps float64, d int) *P1 {
+	p, _ := newP1(m, eps, d)
+	p.mode = IngestFast
+	p.coordGram = matrix.NewSym(d)
+	return p
+}
+
+// newP1 builds the mode-independent state and returns the sketch size ℓ.
+func newP1(m int, eps float64, d int) (*P1, int) {
 	validateParams(m, eps, d)
 	ell := int(math.Ceil(2/eps)) + 1
 	p := &P1{
-		m:      m,
-		d:      d,
-		eps:    eps,
-		acct:   stream.NewAccountant(m),
-		sites:  make([]p1site, m),
-		merged: sketch.NewFD(ell, d),
-		fhat:   1, // row squared norms are ≥ 1
+		m:     m,
+		d:     d,
+		eps:   eps,
+		acct:  stream.NewAccountant(m),
+		sites: make([]p1site, m),
+		fhat:  1, // row squared norms are ≥ 1
 	}
 	for i := range p.sites {
 		p.sites[i].sk = sketch.NewFD(ell, d)
 	}
-	return p
+	return p, ell
 }
+
+// Mode returns the tracker's ingest mode.
+func (p *P1) Mode() IngestMode { return p.mode }
 
 // Name implements Tracker.
 func (p *P1) Name() string { return "P1" }
@@ -121,7 +149,15 @@ func (p *P1) ship(site int) {
 	}
 	p.acct.SendUpN(n, 1)
 
-	p.merged.Merge(s.sk)
+	if p.mode == IngestFast {
+		// Fold the shipped sketch's Gram straight into the coordinator
+		// estimate: no flush, no factorization, no allocation. FD
+		// mergeability makes this sound — the deductions still add — and
+		// skipping the merged sketch's own shrink only tightens the bound.
+		s.sk.AccumulateGram(p.coordGram, 1)
+	} else {
+		p.merged.Merge(s.sk)
+	}
 	p.tally += s.mass
 
 	s.sk.Reset()
@@ -134,7 +170,12 @@ func (p *P1) ship(site int) {
 }
 
 // Gram implements Tracker.
-func (p *P1) Gram() *matrix.Sym { return p.merged.Gram() }
+func (p *P1) Gram() *matrix.Sym {
+	if p.mode == IngestFast {
+		return p.coordGram.Clone()
+	}
+	return p.merged.Gram()
+}
 
 // EstimateFrobenius implements Tracker.
 func (p *P1) EstimateFrobenius() float64 { return p.tally }

@@ -39,7 +39,16 @@ type P2 struct {
 	// decomposition count at the price of ≤ 2× messages; 1.0 ships only
 	// what Theorem 4 strictly requires. Exposed for the ablation study.
 	shipFrac float64
-	decomps  int64 // total eigendecompositions across sites (observability)
+	decomps  int64      // total eigendecompositions across sites (observability)
+	mode     IngestMode // ProcessRows arithmetic (see IngestMode)
+
+	// Reusable scratch shared by the decomposition step and the fast block
+	// path; sized on first use, so the steady-state ingest path allocates
+	// nothing.
+	eigWS   *matrix.EigWorkspace
+	shipRow []float64     // σ·v staging for shipped directions
+	wbuf    []float64     // per-block row norms
+	pack    *matrix.Dense // column-major packing for Sym.AddBlock
 
 	sites []p2site
 	// Coordinator state.
@@ -61,10 +70,24 @@ type p2site struct {
 	empty   bool // gram is exactly zero
 }
 
-// NewP2 builds the protocol for m sites, error ε, dimension d.
+// NewP2 builds the protocol for m sites, error ε, dimension d, in the
+// byte-identical exact ingest mode.
 func NewP2(m int, eps float64, d int) *P2 {
 	return NewP2ShipFraction(m, eps, d, 0.5)
 }
+
+// NewP2Fast builds the protocol in the blocked fast ingest mode: ProcessRows
+// folds whole blocks into the site Gram with one rank-k update and runs
+// decompositions per block instead of per row (see IngestFast for the
+// documented relaxations).
+func NewP2Fast(m int, eps float64, d int) *P2 {
+	p := NewP2(m, eps, d)
+	p.mode = IngestFast
+	return p
+}
+
+// Mode returns the tracker's ingest mode.
+func (p *P2) Mode() IngestMode { return p.mode }
 
 // NewP2ShipFraction builds P2 with an explicit ship fraction in (0, 1]
 // (see the shipFrac field); used by the ablation benchmarks.
@@ -107,17 +130,72 @@ func (p *P2) ProcessRow(site int, row []float64) {
 	p.processRow(&p.sites[site], row)
 }
 
-// ProcessRows implements BatchTracker. P2's expensive step — the site
-// eigendecomposition — is already deferred by the exact λ-bound, so the
-// batch path is the per-row state machine minus the per-call validation:
-// every threshold check runs at its exact row index and the message
-// tallies match row-at-a-time ingestion bit for bit.
+// ProcessRows implements BatchTracker. In exact mode it is the per-row
+// state machine minus the per-call validation: every threshold check runs
+// at its exact row index and the message tallies match row-at-a-time
+// ingestion bit for bit. In fast mode the block folds through processBlock.
 func (p *P2) ProcessRows(site int, rows [][]float64) {
 	validateSite(site, p.m)
 	validateRows(rows, p.d)
 	s := &p.sites[site]
+	if p.mode == IngestFast {
+		p.processBlock(s, rows)
+		return
+	}
 	for _, row := range rows {
 		p.processRow(s, row)
+	}
+}
+
+// processBlock is the fast-mode batch step of Algorithm 5.3: the scalar F̂
+// side-channel still fires at its exact row indices (it reads only the
+// running mass, never the Gram), but the rows fold into the site Gram as
+// one rank-k block update and the deferred-svd bound λ₁ + newMass is
+// settled once over the whole block — one decomposition per crossing block
+// instead of one per crossing row.
+func (p *P2) processBlock(s *p2site, rows [][]float64) {
+	if len(rows) == 0 {
+		return
+	}
+	p.wbuf = matrix.NormSqRows(rows, p.wbuf)
+
+	// Scalar side-channel at exact per-row indices.
+	var mass float64
+	for _, w := range p.wbuf {
+		mass += w
+		s.fdelta += w
+		if s.fdelta >= (p.eps/float64(p.m))*p.siteFhat {
+			p.acct.SendUp(1)
+			p.coordScalar(s.fdelta)
+			s.fdelta = 0
+		}
+	}
+
+	// One block update; the exact deferral bound accrues the block's mass.
+	if p.pack == nil {
+		p.pack = matrix.NewDense(0, 0)
+	}
+	s.gram.AddBlock(rows, p.pack)
+	s.lamBound += mass
+	if s.empty && len(rows) == 1 {
+		s.soleRow = append(s.soleRow[:0], rows[0]...)
+	} else {
+		s.soleRow = nil
+	}
+	s.empty = false
+
+	if s.lamBound >= (p.eps/float64(p.m))*p.siteFhat {
+		if s.soleRow != nil {
+			// Single-row site: svd(B_j) is the row itself.
+			p.acct.SendUp(1)
+			p.gram.AddOuter(1, s.soleRow)
+			s.gram.Reset()
+			s.lamBound = 0
+			s.soleRow = nil
+			s.empty = true
+			return
+		}
+		p.decomposeAndSend(s)
 	}
 }
 
@@ -159,10 +237,17 @@ func (p *P2) processRow(s *p2site, row []float64) {
 }
 
 // decomposeAndSend runs the svd step of Algorithm 5.3 on one site: every
-// direction with σ² ≥ (ε/2m)·F̂ is shipped as the row σ·v and zeroed.
+// direction with σ² ≥ (ε/2m)·F̂ is shipped as the row σ·v and zeroed. All
+// scratch — the eigensolver workspace, the shipped-row staging, the
+// reconstruction column — is per-tracker and reused, so the steady-state
+// path allocates nothing; reusing fully-overwritten buffers leaves the
+// values bit-identical to the allocating path, keeping exact mode exact.
 func (p *P2) decomposeAndSend(s *p2site) {
 	p.decomps++
-	vals, vecs, err := matrix.EigSym(s.gram)
+	if p.eigWS == nil {
+		p.eigWS = matrix.NewEigWorkspace()
+	}
+	vals, vecs, err := matrix.EigSymWork(s.gram, p.eigWS)
 	if err != nil {
 		vals, vecs, err = matrix.JacobiEigSym(s.gram)
 		if err != nil {
@@ -171,7 +256,10 @@ func (p *P2) decomposeAndSend(s *p2site) {
 	}
 	shipThresh := p.shipFrac * (p.eps / float64(p.m)) * p.siteFhat
 	sent := false
-	r := make([]float64, p.d)
+	if p.shipRow == nil {
+		p.shipRow = make([]float64, p.d)
+	}
+	r := p.shipRow
 	for k, lam := range vals {
 		if lam < shipThresh {
 			break // sorted descending
@@ -192,7 +280,9 @@ func (p *P2) decomposeAndSend(s *p2site) {
 		}
 	}
 	if sent {
-		s.gram = matrix.Reconstruct(vecs, vals)
+		// vecs and vals live in the eigensolver workspace, so rebuilding the
+		// site Gram in place is safe.
+		matrix.ReconstructIntoWork(s.gram, vecs, vals, r)
 		if top <= 0 {
 			s.empty = true
 			s.soleRow = nil

@@ -22,6 +22,13 @@ type P2SmallSpace struct {
 	m, d int
 	eps  float64
 	acct *stream.Accountant
+	mode IngestMode
+
+	// Reusable fast-path scratch (lazily sized; see decomposeAndSend).
+	diff    *matrix.Sym
+	eigWS   *matrix.EigWorkspace
+	shipRow []float64
+	wbuf    []float64
 
 	sites []p2sSite
 	// Coordinator state (identical to P2's).
@@ -61,6 +68,19 @@ func NewP2SmallSpace(m int, eps float64, d int) *P2SmallSpace {
 	return p
 }
 
+// NewP2SmallSpaceFast builds the bounded-space variant in the blocked fast
+// ingest mode (see IngestFast): blocks land in the site sketches whole, and
+// the implicit-difference eigendecomposition runs once per crossing block
+// over reused scratch.
+func NewP2SmallSpaceFast(m int, eps float64, d int) *P2SmallSpace {
+	p := NewP2SmallSpace(m, eps, d)
+	p.mode = IngestFast
+	return p
+}
+
+// Mode returns the tracker's ingest mode.
+func (p *P2SmallSpace) Mode() IngestMode { return p.mode }
+
 // Name implements Tracker.
 func (p *P2SmallSpace) Name() string { return "P2small" }
 
@@ -80,17 +100,47 @@ func (p *P2SmallSpace) ProcessRow(site int, row []float64) {
 	p.processRow(&p.sites[site], row)
 }
 
-// ProcessRows implements BatchTracker: the per-row state machine with the
-// validation hoisted out of the loop. Rows land in the site's blocked FD
-// sketches, so the batch amortizes their factorizations; every threshold
-// check still runs at its exact row index and the message tallies match
-// row-at-a-time ingestion.
+// ProcessRows implements BatchTracker. In exact mode it is the per-row
+// state machine with the validation hoisted out of the loop: rows land in
+// the site's blocked FD sketches, every threshold check runs at its exact
+// row index, and the message tallies match row-at-a-time ingestion. Fast
+// mode folds the block through processBlock.
 func (p *P2SmallSpace) ProcessRows(site int, rows [][]float64) {
 	validateSite(site, p.m)
 	validateRows(rows, p.d)
 	s := &p.sites[site]
+	if p.mode == IngestFast {
+		p.processBlock(s, rows)
+		return
+	}
 	for _, row := range rows {
 		p.processRow(s, row)
+	}
+}
+
+// processBlock is the fast-mode batch step, mirroring P2.processBlock: the
+// scalar F̂ side-channel fires at exact row indices, the whole block lands
+// in the receive sketch as one AppendRows, and the λ₁ + newMass deferral is
+// settled once at the block boundary.
+func (p *P2SmallSpace) processBlock(s *p2sSite, rows [][]float64) {
+	if len(rows) == 0 {
+		return
+	}
+	p.wbuf = matrix.NormSqRows(rows, p.wbuf)
+	var mass float64
+	for _, w := range p.wbuf {
+		mass += w
+		s.fdelta += w
+		if s.fdelta >= (p.eps/float64(p.m))*p.siteFhat {
+			p.acct.SendUp(1)
+			p.coordScalar(s.fdelta)
+			s.fdelta = 0
+		}
+	}
+	s.recv.AppendRows(rows)
+	s.lamBound += mass
+	if s.lamBound >= (p.eps/float64(p.m))*p.siteFhat {
+		p.decomposeAndSend(s)
 	}
 }
 
@@ -113,11 +163,29 @@ func (p *P2SmallSpace) processRow(s *p2sSite, row []float64) {
 
 // decomposeAndSend eigendecomposes the implicit B̃_j = Ã_j − S̃_j (in the
 // Gram domain) and ships every direction at or above (3ε/8m)·F̂ — half the
-// paper's threshold, mirroring P2's ship-early rule.
+// paper's threshold, mirroring P2's ship-early rule. Exact mode assembles
+// the difference with freshly materialized Grams (whole-matrix subtraction,
+// the rounding order the byte-identity oracle pins); fast mode accumulates
+// both sketches into reused scratch with AccumulateGram, which reassociates
+// but allocates nothing.
 func (p *P2SmallSpace) decomposeAndSend(s *p2sSite) {
-	g := s.recv.Gram()
-	g.SubSym(s.sent.Gram())
-	vals, vecs, err := matrix.EigSym(g)
+	var g *matrix.Sym
+	if p.mode == IngestFast {
+		if p.diff == nil {
+			p.diff = matrix.NewSym(p.d)
+		}
+		g = p.diff
+		g.Reset()
+		s.recv.AccumulateGram(g, 1)
+		s.sent.AccumulateGram(g, -1)
+	} else {
+		g = s.recv.Gram()
+		g.SubSym(s.sent.Gram())
+	}
+	if p.eigWS == nil {
+		p.eigWS = matrix.NewEigWorkspace()
+	}
+	vals, vecs, err := matrix.EigSymWork(g, p.eigWS)
 	if err != nil {
 		vals, vecs, err = matrix.JacobiEigSym(g)
 		if err != nil {
@@ -125,7 +193,10 @@ func (p *P2SmallSpace) decomposeAndSend(s *p2sSite) {
 		}
 	}
 	shipThresh := (3 * p.eps / (8 * float64(p.m))) * p.siteFhat
-	r := make([]float64, p.d)
+	if p.shipRow == nil {
+		p.shipRow = make([]float64, p.d)
+	}
+	r := p.shipRow
 	for k, lam := range vals {
 		if lam < shipThresh {
 			break

@@ -29,6 +29,7 @@ type P2Snapshot struct {
 	M, D     int
 	Eps      float64
 	ShipFrac float64
+	Fast     bool // true when the instance ran in the blocked fast ingest mode
 	Decomps  int64
 	Sites    []P2SiteSnapshot
 	// Coordinator state.
@@ -54,7 +55,8 @@ func (p *P2) Snapshot() P2Snapshot {
 		}
 	}
 	return P2Snapshot{
-		M: p.m, D: p.d, Eps: p.eps, ShipFrac: p.shipFrac, Decomps: p.decomps,
+		M: p.m, D: p.d, Eps: p.eps, ShipFrac: p.shipFrac,
+		Fast: p.mode == IngestFast, Decomps: p.decomps,
 		Sites: sites, Gram: p.gram.RawData(),
 		CoordFhat: p.coordFhat, SiteFhat: p.siteFhat, NMsg: p.nmsg,
 		Stats: p.acct.Stats(),
@@ -81,6 +83,9 @@ func RestoreP2(snap P2Snapshot) (*P2, error) {
 		return matrix.SymFromRaw(snap.D, data), nil
 	}
 	p := NewP2ShipFraction(snap.M, snap.Eps, snap.D, snap.ShipFrac)
+	if snap.Fast {
+		p.mode = IngestFast
+	}
 	gram, err := restoreGram(snap.Gram)
 	if err != nil {
 		return nil, err

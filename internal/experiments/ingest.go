@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	distmat "repro"
@@ -17,8 +18,9 @@ import (
 
 // IngestResult is one benchmarked configuration.
 type IngestResult struct {
-	Problem  string  `json:"problem"`  // "heavy-hitters", "matrix", "quantile"
-	Protocol string  `json:"protocol"` // registry name
+	Problem  string  `json:"problem"`        // "heavy-hitters", "matrix", "quantile"
+	Protocol string  `json:"protocol"`       // registry name (plus feed suffix)
+	Mode     string  `json:"mode,omitempty"` // matrix ingest mode: "exact" or "fast"
 	Sites    int     `json:"sites"`
 	Epsilon  float64 `json:"epsilon"`
 	Dim      int     `json:"dim,omitempty"`
@@ -74,37 +76,52 @@ func (r *Runner) IngestBench() ([]IngestResult, error) {
 		}
 		res := ingestResult("matrix", proto, sess, len(rows), time.Since(start))
 		res.Dim = matDim
+		res.Mode = "exact"
 		out = append(out, res)
 	}
 
 	// The same protocols fed per-site blocks through the blocked batch path
 	// (Session.ProcessRowsAt → core.BatchTracker), the shape the service
-	// layer's POST rows handler drives. Arrival order differs from the
-	// assigner-dealt rows above (contiguous per-site blocks), so the message
-	// columns are not directly comparable between the two; the rows/sec
-	// column is the point.
-	for _, proto := range []string{"p1", "p2"} {
-		sess, err := distmat.NewMatrixSession(proto,
-			distmat.WithSites(cfg.Sites), distmat.WithEpsilon(0.1),
-			distmat.WithDim(matDim), distmat.WithSeed(cfg.Seed))
-		if err != nil {
-			return nil, err
-		}
-		const block = 1024
-		start := time.Now()
-		for i, site := 0, 0; i < len(rows); i += block {
-			end := i + block
-			if end > len(rows) {
-				end = len(rows)
-			}
-			if err := sess.ProcessRowsAt(site, rows[i:end]); err != nil {
+	// layer's POST rows handler drives — once per ingest mode, on identical
+	// block streams, so the exact "+batch" rows and the fast "-blocked" rows
+	// sit side by side with directly comparable messages-per-update columns.
+	// Arrival order differs from the assigner-dealt rows above (contiguous
+	// per-site blocks), so message columns are comparable within the block
+	// feeds, not against them.
+	for _, mode := range []struct {
+		suffix string
+		mode   string
+		opts   []distmat.Option
+	}{
+		{"+batch", "exact", nil},
+		{"-blocked", "fast", []distmat.Option{distmat.WithFastIngest()}},
+	} {
+		for _, proto := range []string{"p1", "p2"} {
+			opts := append([]distmat.Option{
+				distmat.WithSites(cfg.Sites), distmat.WithEpsilon(0.1),
+				distmat.WithDim(matDim), distmat.WithSeed(cfg.Seed),
+			}, mode.opts...)
+			sess, err := distmat.NewMatrixSession(proto, opts...)
+			if err != nil {
 				return nil, err
 			}
-			site = (site + 1) % cfg.Sites
+			const block = 1024
+			start := time.Now()
+			for i, site := 0, 0; i < len(rows); i += block {
+				end := i + block
+				if end > len(rows) {
+					end = len(rows)
+				}
+				if err := sess.ProcessRowsAt(site, rows[i:end]); err != nil {
+					return nil, err
+				}
+				site = (site + 1) % cfg.Sites
+			}
+			res := ingestResult("matrix", proto+mode.suffix, sess, len(rows), time.Since(start))
+			res.Dim = matDim
+			res.Mode = mode.mode
+			out = append(out, res)
 		}
-		res := ingestResult("matrix", proto+"+batch", sess, len(rows), time.Since(start))
-		res.Dim = matDim
-		out = append(out, res)
 	}
 
 	// Blocked vs unblocked Frequent Directions: the sketch-level hot path
@@ -178,6 +195,21 @@ func ingestResult(problem, proto string, sess *distmat.Session, n int, elapsed t
 		res.MessagesPerUpdate = float64(stats.Total()) / float64(n)
 	}
 	return res
+}
+
+// ReadIngestBenchJSON parses a BENCH_ingest.json document from disk; the
+// cmd/benchcompare tool uses it to diff perf artifacts across revisions.
+func ReadIngestBenchJSON(path string) (IngestBenchDoc, error) {
+	var doc IngestBenchDoc
+	f, err := os.Open(path)
+	if err != nil {
+		return doc, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return doc, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return doc, nil
 }
 
 // WriteIngestBenchJSON runs the ingestion benchmark and writes the

@@ -1,0 +1,170 @@
+package matrix
+
+import "fmt"
+
+// Blocked linear algebra for the batch ingest paths. The tracking protocols
+// historically paid one rank-1 AddOuter (O(d²), bounds-checked, one row at a
+// time) per stream row; the kernels here restructure that per-record work
+// into per-block work: a whole row block B folds into a Gram matrix as the
+// rank-k update G += BᵀB, computed column-major over caller-provided packing
+// scratch so the inner loops are contiguous dot products.
+//
+// The blocked kernels reassociate floating-point additions (each Gram entry
+// accumulates the block's contribution before rounding into G), so their
+// results can differ from a sequence of AddOuter calls in the last ulp.
+// Callers that require bit-identity to row-at-a-time ingestion — the exact
+// protocol modes — must keep using AddOuter; the fast ingest modes accept
+// the reassociation, which is documented at their call sites.
+
+// NormSqRows computes the squared Euclidean norm of every row into dst,
+// reusing dst's backing array when it is large enough, and returns the
+// resulting slice. The per-row values are bit-identical to NormSq.
+func NormSqRows(rows [][]float64, dst []float64) []float64 {
+	dst = growFloats(dst, len(rows))
+	for i, row := range rows {
+		dst[i] = NormSq(row)
+	}
+	return dst
+}
+
+// addBlockCutoff is the block size below which AddBlock falls back to plain
+// rank-1 updates: packing a one- or two-row block costs more than it saves.
+const addBlockCutoff = 4
+
+// AddBlock performs the rank-k update s += BᵀB where the rows of B are the
+// given slices, all of length Dim. scratch holds the column-major packing of
+// the block and is resized (reusing its backing array) as needed; passing
+// the same scratch across calls makes the steady-state update allocation-
+// free. A nil scratch falls back to the rank-1 loop.
+//
+// Entries are accumulated block-at-a-time (see the package comment on
+// reassociation); the result is made exactly symmetric.
+func (s *Sym) AddBlock(rows [][]float64, scratch *Dense) {
+	n := len(rows)
+	d := s.n
+	for i, row := range rows {
+		if len(row) != d {
+			panic(fmt.Sprintf("matrix: block row %d of length %d, want %d", i, len(row), d))
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if n < addBlockCutoff || scratch == nil {
+		for _, row := range rows {
+			s.AddOuter(1, row)
+		}
+		return
+	}
+	// Pack B column-major: scratch row j is column j of B, so every Gram
+	// entry below is one contiguous dot product of length n.
+	*scratch = *reuseDense(scratch, d, n, false)
+	for i, row := range rows {
+		for j, v := range row {
+			scratch.data[j*n+i] = v
+		}
+	}
+	s.addPackedColumns(scratch)
+}
+
+// AddDenseBlock is AddBlock for a Dense row block (rows lo ≤ i < hi come
+// from callers slicing with RowsView). b must have Dim columns.
+func (s *Sym) AddDenseBlock(b *Dense, scratch *Dense) {
+	if b.cols != s.n {
+		panic(fmt.Sprintf("matrix: %d-column block into %d×%d", b.cols, s.n, s.n))
+	}
+	n, d := b.rows, s.n
+	if n == 0 {
+		return
+	}
+	if n < addBlockCutoff || scratch == nil {
+		for i := 0; i < n; i++ {
+			s.AddOuter(1, b.Row(i))
+		}
+		return
+	}
+	*scratch = *reuseDense(scratch, d, n, false)
+	for i := 0; i < n; i++ {
+		row := b.data[i*d : (i+1)*d]
+		for j, v := range row {
+			scratch.data[j*n+i] = v
+		}
+	}
+	s.addPackedColumns(scratch)
+}
+
+// addPackedColumns adds BᵀB to s given the column-major packing of B
+// (packed row j = column j of B): the upper triangle is computed with
+// contiguous unrolled dots and mirrored onto the lower.
+func (s *Sym) addPackedColumns(packed *Dense) {
+	d, n := packed.rows, packed.cols
+	for j := 0; j < d; j++ {
+		cj := packed.data[j*n : (j+1)*n]
+		row := s.data[j*d : (j+1)*d]
+		for k := j; k < d; k++ {
+			ck := packed.data[k*n : (k+1)*n]
+			row[k] += dotUnrolled(cj, ck)
+		}
+	}
+	// Mirror the updated upper triangle; s stays exactly symmetric.
+	for j := 0; j < d; j++ {
+		for k := j + 1; k < d; k++ {
+			s.data[k*d+j] = s.data[j*d+k]
+		}
+	}
+}
+
+// dotUnrolled is Dot for equal-length slices with four independent
+// accumulators, trading the sequential rounding order for instruction-level
+// parallelism in the blocked kernels' inner loop.
+func dotUnrolled(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// RowsView returns rows [lo, hi) of m as a Dense view aliasing m's storage:
+// the row-block window the blocked ingest paths hand to AddDenseBlock
+// without copying. Mutating the view mutates m; AppendRow on m may
+// reallocate and detach existing views.
+func (m *Dense) RowsView(lo, hi int) *Dense {
+	if lo < 0 || hi < lo || hi > m.rows {
+		panic(fmt.Sprintf("matrix: rows view [%d,%d) of %d×%d", lo, hi, m.rows, m.cols))
+	}
+	return &Dense{rows: hi - lo, cols: m.cols, data: m.data[lo*m.cols : hi*m.cols]}
+}
+
+// ReconstructIntoWork is ReconstructInto with caller-provided column
+// scratch (length ≥ v.rows), so the per-block factorization loops rebuild
+// their Gram without allocating.
+func ReconstructIntoWork(dst *Sym, v *Dense, vals, col []float64) {
+	if len(vals) > v.cols {
+		panic(fmt.Sprintf("matrix: %d eigenvalues for %d eigenvectors", len(vals), v.cols))
+	}
+	if dst.n != v.rows {
+		panic(fmt.Sprintf("matrix: reconstruct %d-dim eigenvectors into %d×%d", v.rows, dst.n, dst.n))
+	}
+	if len(col) < v.rows {
+		panic(fmt.Sprintf("matrix: reconstruct scratch of length %d, want ≥ %d", len(col), v.rows))
+	}
+	col = col[:v.rows]
+	dst.Reset()
+	for k, lam := range vals {
+		if lam == 0 {
+			continue
+		}
+		for i := 0; i < v.rows; i++ {
+			col[i] = v.At(i, k)
+		}
+		dst.AddOuter(lam, col)
+	}
+}

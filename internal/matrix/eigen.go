@@ -3,7 +3,6 @@ package matrix
 import (
 	"errors"
 	"math"
-	"sort"
 )
 
 // ErrNoConvergence is returned when an iterative decomposition fails to
@@ -259,7 +258,17 @@ func sortEigDescWork(d []float64, V *Dense, ws *EigWorkspace) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return d[idx[a]] > d[idx[b]] })
+	// Stable insertion sort on the permutation, descending by eigenvalue:
+	// the same ordering sort.SliceStable produces (stable sorts agree on
+	// their output permutation) without its per-call reflection allocation,
+	// which would otherwise be the only allocation left on the blocked
+	// ingest paths' steady state. n is at most a few hundred here, so the
+	// O(n²) worst case is noise next to the O(n³) decomposition.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && d[idx[j-1]] < d[idx[j]]; j-- {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+		}
+	}
 
 	sorted := ws.sorted[:n]
 	perm := reuseDense(ws.perm, V.rows, V.cols, false)

@@ -84,6 +84,16 @@ func (s *Sym) AddSym(b *Sym) {
 	}
 }
 
+// AddScaledSym adds w·b to s in place.
+func (s *Sym) AddScaledSym(w float64, b *Sym) {
+	if s.n != b.n {
+		panic(fmt.Sprintf("matrix: add scaled %d×%d to %d×%d", b.n, b.n, s.n, s.n))
+	}
+	for i := range s.data {
+		s.data[i] += w * b.data[i]
+	}
+}
+
 // SubSym subtracts b from s in place.
 func (s *Sym) SubSym(b *Sym) {
 	if s.n != b.n {
@@ -228,21 +238,5 @@ func Reconstruct(v *Dense, vals []float64) *Sym {
 // rebuild a Gram of fixed dimension every block. dst must be v.rows ×
 // v.rows.
 func ReconstructInto(dst *Sym, v *Dense, vals []float64) {
-	if len(vals) > v.cols {
-		panic(fmt.Sprintf("matrix: %d eigenvalues for %d eigenvectors", len(vals), v.cols))
-	}
-	if dst.n != v.rows {
-		panic(fmt.Sprintf("matrix: reconstruct %d-dim eigenvectors into %d×%d", v.rows, dst.n, dst.n))
-	}
-	dst.Reset()
-	col := make([]float64, v.rows)
-	for k, lam := range vals {
-		if lam == 0 {
-			continue
-		}
-		for i := 0; i < v.rows; i++ {
-			col[i] = v.At(i, k)
-		}
-		dst.AddOuter(lam, col)
-	}
+	ReconstructIntoWork(dst, v, vals, make([]float64, v.rows))
 }

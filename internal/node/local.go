@@ -83,6 +83,17 @@ func (s matCoordSender) SendAll(ms []Message) error { return s.c.HandleAll(ms) }
 
 // NewLocalMatCluster builds the in-process deployment of matrix P2.
 func NewLocalMatCluster(m int, eps float64, d int) (*LocalMatCluster, error) {
+	return newLocalMatCluster(m, eps, d, false)
+}
+
+// NewLocalMatClusterFast builds the in-process deployment with fast-mode
+// sites (NewMatSiteFast): FeedRows blocks fold as single rank-k updates
+// with per-block decompositions and pooled site scratch.
+func NewLocalMatClusterFast(m int, eps float64, d int) (*LocalMatCluster, error) {
+	return newLocalMatCluster(m, eps, d, true)
+}
+
+func newLocalMatCluster(m int, eps float64, d int, fast bool) (*LocalMatCluster, error) {
 	fo := &fanout{}
 	coord, err := NewMatCoordinator(m, eps, d, fo)
 	if err != nil {
@@ -90,7 +101,11 @@ func NewLocalMatCluster(m int, eps float64, d int) (*LocalMatCluster, error) {
 	}
 	cl := &LocalMatCluster{Coordinator: coord}
 	for i := 0; i < m; i++ {
-		site, err := NewMatSite(i, m, eps, d, matCoordSender{coord})
+		newSite := NewMatSite
+		if fast {
+			newSite = NewMatSiteFast
+		}
+		site, err := newSite(i, m, eps, d, matCoordSender{coord})
 		if err != nil {
 			return nil, err
 		}

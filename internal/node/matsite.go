@@ -14,10 +14,11 @@ import (
 // internal/core, and ships σ·v rows plus scalar F_j reports through the
 // Sender. No lock is held across a Send.
 type MatSite struct {
-	id  int
-	m   int
-	d   int
-	eps float64
+	id   int
+	m    int
+	d    int
+	eps  float64
+	fast bool // blocked fast ingest (see core.IngestFast); exact otherwise
 
 	mu       sync.Mutex
 	fhat     float64 // F̂ as last received
@@ -26,6 +27,15 @@ type MatSite struct {
 	lamBound float64
 	sent     int64
 	eigWS    *matrix.EigWorkspace // reusable decomposition scratch (under mu)
+
+	// Pooled fast-path scratch (under mu). outBuf is handed out to at most
+	// one in-flight send at a time (checked out under mu), so concurrent
+	// HandleRows callers fall back to a fresh allocation instead of racing.
+	wbuf     []float64
+	pack     *matrix.Dense
+	reconCol []float64
+	outBuf   []Message
+	outBusy  bool
 
 	out Sender
 }
@@ -55,6 +65,22 @@ func NewMatSite(id, m int, eps float64, d int, out Sender) (*MatSite, error) {
 	}, nil
 }
 
+// NewMatSiteFast builds the site in the blocked fast ingest mode: HandleRows
+// folds whole blocks into the Gram with one rank-k update, runs the
+// eigendecomposition once per crossing block, and reuses pooled scratch so
+// the steady-state (no-message) block path allocates nothing. The scalar F̂
+// threshold is still evaluated at every row index, but a block's crossings
+// coalesce into one summed report, and row-ship messages may coalesce at
+// block boundaries (see core.IngestFast).
+func NewMatSiteFast(id, m int, eps float64, d int, out Sender) (*MatSite, error) {
+	s, err := NewMatSite(id, m, eps, d, out)
+	if err != nil {
+		return nil, err
+	}
+	s.fast = true
+	return s, nil
+}
+
 // ID returns the site id.
 func (s *MatSite) ID() int { return s.id }
 
@@ -82,6 +108,9 @@ func (s *MatSite) HandleRows(rows [][]float64) error {
 			return fmt.Errorf("row %d: %w", i, err)
 		}
 	}
+	if s.fast {
+		return s.handleRowsBlocked(rows)
+	}
 	for i := 0; i < len(rows); {
 		s.mu.Lock()
 		var outbox []Message
@@ -95,6 +124,73 @@ func (s *MatSite) HandleRows(rows [][]float64) error {
 		}
 	}
 	return nil
+}
+
+// handleRowsBlocked is the fast-mode batch step: the scalar F̂ side-channel
+// is scanned at exact per-row indices over precomputed norms, the whole
+// block folds into the Gram as one rank-k update, and the deferred
+// decomposition bound is settled once at the block boundary. The outbox is
+// flushed once, after the lock is released.
+//
+// Unlike the exact path — which flushes after every scalar report, letting
+// the coordinator's synchronous broadcast raise F̂ mid-block — the block
+// scan sees a frozen F̂, so on a cold start (or an intra-block mass spike)
+// the per-row threshold can fire on row after row. The crossings therefore
+// coalesce into at most one KindTotal message per block carrying the
+// summed settled mass: the coordinator accumulates report values, so its
+// estimate is unchanged, and the message count stays bounded instead of
+// degrading to one report per row.
+func (s *MatSite) handleRowsBlocked(rows [][]float64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	s.wbuf = matrix.NormSqRows(rows, s.wbuf)
+	outbox, pooled := s.checkOutOutboxLocked()
+	before := len(outbox)
+
+	var mass, settled float64
+	for _, w := range s.wbuf {
+		mass += w
+		s.fdelta += w
+		if s.fdelta >= (s.eps/float64(s.m))*s.fhat {
+			settled += s.fdelta
+			s.fdelta = 0
+		}
+	}
+	if settled > 0 {
+		outbox = append(outbox, Message{Kind: KindTotal, Site: s.id, Value: settled})
+	}
+
+	if s.pack == nil {
+		s.pack = matrix.NewDense(0, 0)
+	}
+	s.gram.AddBlock(rows, s.pack)
+	s.lamBound += mass
+	if s.lamBound >= (s.eps/float64(s.m))*s.fhat {
+		outbox = append(outbox, s.decompose()...)
+	}
+	s.sent += int64(len(outbox) - before)
+	s.mu.Unlock()
+
+	err := sendAll(s.out, outbox)
+	if pooled {
+		s.mu.Lock()
+		s.outBuf, s.outBusy = outbox[:0], false
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// checkOutOutboxLocked hands out the pooled outbox to at most one in-flight
+// send; a concurrent caller gets a nil (allocating) slice instead. Called
+// with s.mu held.
+func (s *MatSite) checkOutOutboxLocked() (outbox []Message, pooled bool) {
+	if s.outBusy {
+		return nil, false
+	}
+	s.outBusy = true
+	return s.outBuf[:0], true
 }
 
 // checkRow validates a row before ingestion.
@@ -160,7 +256,12 @@ func (s *MatSite) decompose() []Message {
 		vals[k] = 0
 	}
 	if len(out) > 0 {
-		s.gram = matrix.Reconstruct(vecs, vals)
+		// vecs and vals live in the eigensolver workspace, so the site Gram
+		// can be rebuilt in place without allocating a replacement.
+		if s.reconCol == nil {
+			s.reconCol = make([]float64, s.d)
+		}
+		matrix.ReconstructIntoWork(s.gram, vecs, vals, s.reconCol)
 	}
 	top := 0.0
 	for _, lam := range vals {

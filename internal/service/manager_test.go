@@ -312,3 +312,48 @@ func TestWindowedTrackerMetricsRace(t *testing.T) {
 		t.Fatalf("ingested %d, want 1000", got)
 	}
 }
+
+// TestFastIngestSpec plumbs Spec.Fast through to the session: the hosted
+// tracker runs the blocked fast ingest mode, whole POST-rows batches fold
+// as blocks, and checkpoints survive a round trip with the mode intact.
+func TestFastIngestSpec(t *testing.T) {
+	m, err := Open(testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	tr, err := m.Create("fastgram", Spec{
+		Kind: KindMatrix, Protocol: "p2", Sites: 4, Epsilon: 0.2, Dim: 8, Fast: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Spec().Fast {
+		t.Fatal("spec echo lost Fast")
+	}
+	rows := make([][]float64, 64)
+	for i := range rows {
+		rows[i] = make([]float64, 8)
+		for j := range rows[i] {
+			rows[i][j] = float64(i+j)/16 + 1
+		}
+	}
+	for site := 0; site < 4; site++ {
+		if err := tr.IngestRows(context.Background(), site, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := tr.Snapshot()
+	if snap.Count != 4*64 {
+		t.Fatalf("count %d, want %d", snap.Count, 4*64)
+	}
+	if snap.Gram == nil || snap.Gram.Trace() <= 0 {
+		t.Fatal("fast tracker produced no coordinator estimate")
+	}
+	if !snap.Config.FastIngest {
+		t.Fatal("session config echo lost FastIngest")
+	}
+	if err := m.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -104,6 +104,11 @@ type Spec struct {
 	Bits       uint    `json:"bits,omitempty"`
 	Window     int     `json:"window,omitempty"`
 	TrackExact bool    `json:"track_exact,omitempty"`
+	// Fast opts the matrix protocols that support it into the blocked fast
+	// ingest mode (Config.FastIngest): POST …/rows batches fold as whole
+	// blocks with per-block decompositions, the service's highest-throughput
+	// configuration.
+	Fast bool `json:"fast,omitempty"`
 }
 
 // options translates the set fields into functional options.
@@ -135,6 +140,9 @@ func (sp Spec) options() []distmat.Option {
 	}
 	if sp.TrackExact {
 		opts = append(opts, distmat.WithExactTracking())
+	}
+	if sp.Fast {
+		opts = append(opts, distmat.WithFastIngest())
 	}
 	return opts
 }

@@ -59,6 +59,8 @@ type FD struct {
 	// Reusable per-sketch factorization scratch (lazily allocated).
 	scratch *matrix.Sym
 	eigWS   *matrix.EigWorkspace
+	col     []float64     // eigenvector column staging for reconstructions
+	pack    *matrix.Dense // column-major packing for the blocked Gram fold
 }
 
 // NewFD returns a Frequent Directions sketch with ℓ rows for d-dimensional
@@ -174,12 +176,47 @@ func (f *FD) compress() {
 	if f.scratch == nil {
 		f.scratch = matrix.NewSym(f.d)
 	}
-	matrix.ReconstructInto(f.scratch, f.vecs, f.vals)
-	for i := 0; i < f.buf.Rows(); i++ {
-		f.scratch.AddOuter(1, f.buf.Row(i))
+	matrix.ReconstructIntoWork(f.scratch, f.vecs, f.vals, f.colScratch())
+	if f.pack == nil {
+		f.pack = matrix.NewDense(0, 0)
 	}
+	f.scratch.AddDenseBlock(f.buf, f.pack)
 	f.buf.Reset()
 	f.factorAndShrink(f.scratch)
+}
+
+// colScratch returns the reusable length-d staging buffer for eigenvector
+// columns.
+func (f *FD) colScratch() []float64 {
+	if f.col == nil {
+		f.col = make([]float64, f.d)
+	}
+	return f.col
+}
+
+// AccumulateGram folds w times the sketch's Gram matrix BᵀB — factored
+// directions plus any buffered rows, without flushing — into dst, using only
+// per-sketch scratch: the allocation- and factorization-free merge the fast
+// protocol paths use in place of Gram() + AddSym. w = −1 subtracts, which
+// the P2 small-space variant uses for its implicit sketch difference.
+func (f *FD) AccumulateGram(dst *matrix.Sym, w float64) {
+	if f.exact {
+		dst.AddScaledSym(w, f.gram)
+		return
+	}
+	col := f.colScratch()
+	for k, lam := range f.vals {
+		if lam == 0 {
+			continue
+		}
+		for i := 0; i < f.d; i++ {
+			col[i] = f.vecs.At(i, k)
+		}
+		dst.AddOuter(w*lam, col)
+	}
+	for i := 0; i < f.buf.Rows(); i++ {
+		dst.AddOuter(w, f.buf.Row(i))
+	}
 }
 
 // gramFull returns a freshly allocated Gram matrix of the sketch plus any

@@ -50,6 +50,7 @@ type sessionState struct {
 	Rank       int
 	Bits       uint
 	TrackExact bool
+	FastIngest bool
 
 	Count int64
 	Draws int64 // assigner draws, replayed on restore
@@ -166,6 +167,7 @@ func (s *Session) SaveState(w io.Writer) error {
 		Rank:       s.cfg.Rank,
 		Bits:       s.cfg.Bits,
 		TrackExact: s.cfg.TrackExact,
+		FastIngest: s.cfg.FastIngest,
 
 		Count: s.count,
 		Draws: s.draws,
@@ -195,6 +197,7 @@ func RestoreSession(r io.Reader) (*Session, error) {
 	cfg := Config{
 		Sites: st.Sites, Epsilon: st.Epsilon, Dim: st.Dim, Seed: st.Seed,
 		Copies: st.Copies, Rank: st.Rank, Bits: st.Bits, TrackExact: st.TrackExact,
+		FastIngest: st.FastIngest,
 	}
 	s := &Session{proto: st.Proto, cfg: cfg, count: st.Count, draws: st.Draws}
 

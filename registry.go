@@ -44,7 +44,12 @@ var matrixEntries = []matrixEntry{
 			Guarantee:     "0 ≤ ‖Ax‖²−‖Bx‖² ≤ ε‖A‖²_F",
 			Communication: "O((m/ε²)·log(βN)) rows",
 		},
-		build: func(c Config) MatrixTracker { return core.NewP1(c.Sites, c.Epsilon, c.Dim) },
+		build: func(c Config) MatrixTracker {
+			if c.FastIngest {
+				return core.NewP1Fast(c.Sites, c.Epsilon, c.Dim)
+			}
+			return core.NewP1(c.Sites, c.Epsilon, c.Dim)
+		},
 	},
 	{
 		info: ProtocolInfo{
@@ -54,7 +59,12 @@ var matrixEntries = []matrixEntry{
 			Guarantee:     "0 ≤ ‖Ax‖²−‖Bx‖² ≤ ε‖A‖²_F",
 			Communication: "O((m/ε)·log(βN)) rows",
 		},
-		build: func(c Config) MatrixTracker { return core.NewP2(c.Sites, c.Epsilon, c.Dim) },
+		build: func(c Config) MatrixTracker {
+			if c.FastIngest {
+				return core.NewP2Fast(c.Sites, c.Epsilon, c.Dim)
+			}
+			return core.NewP2(c.Sites, c.Epsilon, c.Dim)
+		},
 	},
 	{
 		info: ProtocolInfo{
@@ -65,7 +75,12 @@ var matrixEntries = []matrixEntry{
 			Guarantee:     "0 ≤ ‖Ax‖²−‖Bx‖² ≤ ε‖A‖²_F",
 			Communication: "≤ 2× p2",
 		},
-		build: func(c Config) MatrixTracker { return core.NewP2SmallSpace(c.Sites, c.Epsilon, c.Dim) },
+		build: func(c Config) MatrixTracker {
+			if c.FastIngest {
+				return core.NewP2SmallSpaceFast(c.Sites, c.Epsilon, c.Dim)
+			}
+			return core.NewP2SmallSpace(c.Sites, c.Epsilon, c.Dim)
+		},
 	},
 	{
 		info: ProtocolInfo{

@@ -56,6 +56,8 @@ type Session struct {
 	exact *Sym // exact Gram AᵀA, non-nil iff cfg.TrackExact on a matrix session
 	count int64
 	draws int64 // assigner draws so far (ProcessRowAt/ProcessItemAt skip the assigner)
+
+	siteBuf []int // pooled per-batch site assignments (ProcessRows scratch)
 }
 
 // adoptAssigner reconciles cfg.Sites with an explicit assigner before any
@@ -291,8 +293,13 @@ func (s *Session) ProcessRows(rows [][]float64) error {
 	}
 	n, dimErr := s.validRowPrefix(rows)
 	// Draw sites for the valid prefix in row order (the per-row path draws
-	// before each ingest; the interleaving is unobservable).
-	sites := make([]int, n)
+	// before each ingest; the interleaving is unobservable). The buffer is
+	// pooled on the session, so the steady-state batch path allocates
+	// nothing here.
+	if cap(s.siteBuf) < n {
+		s.siteBuf = make([]int, n)
+	}
+	sites := s.siteBuf[:n]
 	for i := range sites {
 		sites[i] = s.asg.Next()
 	}

@@ -33,10 +33,12 @@ bench-compare:
 	@mv BENCH_ingest.new.json BENCH_ingest.json
 
 # The in-tree perf floors: the ≥5× fast-ingest speedup guard, the exact-mode
-# batch never-slower guard, the FD blocked-ingest guard, and the
-# steady-state zero-allocation assertions. CI runs exactly this target.
+# batch never-slower guard, the FD blocked-ingest guard, the steady-state
+# zero-allocation assertions, and the ≥2× sharded scaling floor at 4 workers
+# (needs ≥4 procs; skips — loudly — on smaller machines). CI runs exactly
+# this target.
 perf-guard:
-	$(GO) test -run 'TestFastIngestSpeedupGuard|TestBatchDispatchNeverSlower|TestFastSiteHotPathAllocs|TestFastSiteSteadyStateAllocs|TestBlockedFDSpeedupGuard' -v -count=1 ./internal/core ./internal/node ./internal/sketch
+	$(GO) test -run 'TestFastIngestSpeedupGuard|TestBatchDispatchNeverSlower|TestFastSiteHotPathAllocs|TestFastSiteSteadyStateAllocs|TestBlockedFDSpeedupGuard|TestShardedSpeedupGuard' -v -count=1 ./internal/core ./internal/node ./internal/sketch
 
 # Full figure/table regeneration (minutes).
 experiments:

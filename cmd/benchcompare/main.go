@@ -39,49 +39,58 @@ func main() {
 		fatalf("reading %s: %v", flag.Arg(1), err)
 	}
 
-	key := func(r experiments.IngestResult) string { return r.Problem + "/" + r.Protocol }
-	olds := make(map[string]experiments.IngestResult)
-	for _, r := range oldDoc.Results {
-		olds[key(r)] = r
-	}
-	news := make(map[string]experiments.IngestResult)
-	var order []string
-	for _, r := range newDoc.Results {
-		k := key(r)
-		news[k] = r
-		order = append(order, k)
-	}
+	// Alignment tolerates artifacts from before the mode (PR 4) and shards
+	// columns existed: entries fall back to the problem/protocol identity
+	// and the drift is annotated instead of erroring or mispairing.
+	pairs, removed := experiments.MatchIngestResults(oldDoc.Results, newDoc.Results)
 
 	fmt.Printf("%-28s %14s %14s %8s   %s\n", "entry", "old rows/s", "new rows/s", "ratio", "msgs/update old→new")
 	regressed := false
-	for _, k := range order {
-		n := news[k]
-		o, ok := olds[k]
-		if !ok {
-			fmt.Printf("%-28s %14s %14.0f %8s   %.4f (added)\n", k, "—", n.RowsPerSec, "—", n.MessagesPerUpdate)
+	for _, p := range pairs {
+		if !p.HasOld {
+			fmt.Printf("%-28s %14s %14.0f %8s   %.4f (added)\n", p.Key, "—", p.New.RowsPerSec, "—", p.New.MessagesPerUpdate)
 			continue
 		}
 		ratio := 0.0
-		if o.RowsPerSec > 0 {
-			ratio = n.RowsPerSec / o.RowsPerSec
+		if p.Old.RowsPerSec > 0 {
+			ratio = p.New.RowsPerSec / p.Old.RowsPerSec
 		}
 		mark := ""
+		if p.Note != "" {
+			mark = "  (" + p.Note + ")"
+		}
 		if *failOver > 0 && ratio > 0 && ratio < 1-*failOver/100 {
-			mark = "  << regression"
+			mark += "  << regression"
 			regressed = true
 		}
 		fmt.Printf("%-28s %14.0f %14.0f %7.2fx   %.4f → %.4f%s\n",
-			k, o.RowsPerSec, n.RowsPerSec, ratio, o.MessagesPerUpdate, n.MessagesPerUpdate, mark)
+			p.Key, p.Old.RowsPerSec, p.New.RowsPerSec, ratio, p.Old.MessagesPerUpdate, p.New.MessagesPerUpdate, mark)
 	}
-	var removed []string
-	for k := range olds {
-		if _, ok := news[k]; !ok {
-			removed = append(removed, k)
+	// Print each removed entry directly — two removed entries may share a
+	// problem/protocol and differ only in mode/shards.
+	sort.Slice(removed, func(i, j int) bool {
+		a, b := removed[i], removed[j]
+		if a.Problem != b.Problem {
+			return a.Problem < b.Problem
 		}
-	}
-	sort.Strings(removed)
-	for _, k := range removed {
-		fmt.Printf("%-28s %14.0f %14s %8s   (removed)\n", k, olds[k].RowsPerSec, "—", "—")
+		if a.Protocol != b.Protocol {
+			return a.Protocol < b.Protocol
+		}
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		return a.Shards < b.Shards
+	})
+	for _, r := range removed {
+		k := r.Problem + "/" + r.Protocol
+		if r.Mode != "" || r.Shards > 1 {
+			q := r.Mode
+			if r.Shards > 1 {
+				q = fmt.Sprintf("%s×%d", q, r.Shards)
+			}
+			k += " [" + q + "]"
+		}
+		fmt.Printf("%-28s %14.0f %14s %8s   (removed)\n", k, r.RowsPerSec, "—", "—")
 	}
 	if regressed {
 		fatalf("rows/sec regression beyond %.0f%% detected", *failOver)

@@ -6,6 +6,7 @@
 //
 //	mtrack [-protocol NAME] [-data lowrank|highrank|CSV-path]
 //	       [-n N] [-sites M] [-eps E] [-k K] [-seed SEED]
+//	       [-fast] [-shards P]
 //
 // NAME is any protocol in the registry (see distmat.MatrixProtocols):
 // p1, p2, p2small, p3, p3wr, p4, fd, svd.
@@ -38,6 +39,8 @@ func main() {
 		eps      = flag.Float64("eps", 0.1, "error parameter ε")
 		k        = flag.Int("k", 30, "rank for the FD/SVD baselines")
 		seed     = flag.Int64("seed", 1, "random seed")
+		fast     = flag.Bool("fast", false, "blocked fast ingest mode (p1, p2, p2small)")
+		shards   = flag.Int("shards", 0, "parallel tracker shards merged at query time (0/1: unsharded)")
 	)
 	flag.StringVar(protocol, "proto", *protocol, protoHelp+" (alias of -protocol)")
 	flag.Parse()
@@ -75,14 +78,22 @@ func main() {
 	}
 	d := len(rows[0])
 
-	sess, err := distmat.NewMatrixSession(*protocol,
+	opts := []distmat.Option{
 		distmat.WithSites(*m),
 		distmat.WithEpsilon(*eps),
 		distmat.WithDim(d),
-		distmat.WithSeed(*seed+1),
+		distmat.WithSeed(*seed + 1),
 		distmat.WithRank(*k),
 		distmat.WithAssigner(distmat.NewUniformRandom(*m, *seed+2)),
-		distmat.WithExactTracking())
+		distmat.WithExactTracking(),
+	}
+	if *fast {
+		opts = append(opts, distmat.WithFastIngest())
+	}
+	if *shards > 1 {
+		opts = append(opts, distmat.WithShards(*shards))
+	}
+	sess, err := distmat.NewMatrixSession(*protocol, opts...)
 	if err != nil {
 		if errors.Is(err, distmat.ErrUnknownProtocol) {
 			log.Print(err)
@@ -90,6 +101,7 @@ func main() {
 		}
 		log.Fatal(err)
 	}
+	defer sess.Close()
 	if err := sess.ProcessRows(rows); err != nil {
 		log.Fatalf("ingest: %v", err)
 	}

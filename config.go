@@ -40,6 +40,18 @@ type Config struct {
 	// alongside the protocol's approximation, for evaluation. Costs O(d²)
 	// per row.
 	TrackExact bool
+	// Shards, when > 1, runs a matrix tracker as P parallel shards merged
+	// at query time (core.ShardedTracker): ingestion blocks are dealt
+	// round-robin to P worker goroutines, each owning a private tracker
+	// instance, and queries merge the shard Grams — the covariance
+	// guarantee still holds at every query because the per-shard error
+	// bounds add. Results are deterministic for a fixed Seed and shard
+	// count but DO depend on Shards (each P partitions the stream
+	// differently); randomized shard protocols use Seed+shardIndex.
+	// Message tallies sum across shards, so communication grows by up to
+	// P×. 0 or 1 is the single-tracker path; heavy-hitters, quantile, and
+	// windowed sessions reject Shards > 1 with ErrNotShardable.
+	Shards int
 	// FastIngest switches the matrix protocols that support it (p1, p2,
 	// p2small) to the blocked fast ingest mode: batch ingestion folds whole
 	// row blocks with rank-k updates and defers the per-site
@@ -52,6 +64,12 @@ type Config struct {
 	// use NewUniformRandom(Sites, Seed) — the paper's arrival model.
 	Assigner Assigner
 }
+
+// MaxShards bounds Config.Shards. Every shard is a full tracker instance
+// plus a worker goroutine, and useful parallelism tops out at the machine's
+// cores, so the cap mostly guards the service boundary: a Spec arriving
+// over HTTP cannot make one PUT allocate an unbounded number of trackers.
+const MaxShards = 64
 
 // DefaultConfig returns the configuration every option starts from: one
 // site, ε = 0.1, seed 1, one copy, 16-bit quantile universe.
@@ -87,6 +105,11 @@ func WithBits(bits uint) Option { return func(c *Config) { c.Bits = bits } }
 // WithWindow makes matrix sessions cover only the most recent ~window rows
 // via the tumbling-window construction.
 func WithWindow(window int) Option { return func(c *Config) { c.Window = window } }
+
+// WithShards runs a matrix tracker as p parallel shards merged at query
+// time (see Config.Shards). Combine with WithFastIngest for the
+// highest-throughput configuration: P blocked pipelines across cores.
+func WithShards(p int) Option { return func(c *Config) { c.Shards = p } }
 
 // WithExactTracking makes a matrix Session maintain the exact Gram AᵀA for
 // evaluation alongside the approximation.
@@ -138,6 +161,15 @@ func (c Config) validateMatrix() error {
 			return invalidConfig(err)
 		}
 	}
+	if c.Shards < 0 {
+		return invalidConfigf("need shards ≥ 0, got %d", c.Shards)
+	}
+	if c.Shards > MaxShards {
+		return invalidConfigf("need shards ≤ %d, got %d", MaxShards, c.Shards)
+	}
+	if c.Shards > 1 && c.Window > 0 {
+		return notShardablef("windowed sessions count sub-window boundaries per shard; drop WithShards or WithWindow")
+	}
 	return nil
 }
 
@@ -149,6 +181,9 @@ func (c Config) validateHH() error {
 	if err := hh.CheckCopies(c.Copies); err != nil {
 		return invalidConfig(err)
 	}
+	if c.Shards > 1 {
+		return notShardablef("heavy-hitters protocols have no cross-shard merge; drop WithShards")
+	}
 	return nil
 }
 
@@ -156,6 +191,9 @@ func (c Config) validateHH() error {
 func (c Config) validateQuantile() error {
 	if err := quantile.CheckParams(c.Sites, c.Epsilon, c.Bits); err != nil {
 		return invalidConfig(err)
+	}
+	if c.Shards > 1 {
+		return notShardablef("quantile tracking has no cross-shard merge; drop WithShards")
 	}
 	return nil
 }

@@ -35,6 +35,19 @@ var (
 	// ErrInvalidSite reports an explicit site index outside [0, Sites).
 	ErrInvalidSite = errors.New("distmat: site out of range")
 
+	// ErrSessionClosed reports ingestion on a session after Close. Closed
+	// sessions still answer queries; only ingestion is rejected.
+	ErrSessionClosed = errors.New("distmat: session is closed")
+
+	// ErrNotShardable reports a configuration that cannot run sharded
+	// (Config.Shards > 1): heavy-hitters and quantile sessions (their
+	// single-core tallies already outrun the matrix hot path by orders of
+	// magnitude, and no cross-shard merge is provided for their coordinator
+	// summaries), and windowed matrix sessions (sub-window boundaries are
+	// counted per shard, so sharding would break the coverage guarantee).
+	// Matrix sessions shard through merge-on-query Gram addition.
+	ErrNotShardable = errors.New("distmat: configuration is not shardable")
+
 	// ErrNotPersistable reports a session whose state cannot be saved:
 	// the underlying tracker is randomized or windowed (RNG and window
 	// phase cannot be re-seeded mid-stream), wrapped around a custom
@@ -51,6 +64,11 @@ func invalidConfig(detail error) error {
 // invalidConfigf wraps a formatted validation failure in ErrInvalidConfig.
 func invalidConfigf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, args...))
+}
+
+// notShardablef wraps a formatted explanation in ErrNotShardable.
+func notShardablef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrNotShardable, fmt.Sprintf(format, args...))
 }
 
 // unknownProtocol builds an ErrUnknownProtocol listing the registered names.

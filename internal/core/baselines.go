@@ -70,6 +70,14 @@ func (b *NaiveFD) ProcessRows(site int, rows [][]float64) {
 // Gram implements Tracker.
 func (b *NaiveFD) Gram() *matrix.Sym { return b.sk.Gram() }
 
+// Sites implements SiteCounter.
+func (b *NaiveFD) Sites() int { return b.m }
+
+// AccumulateGram implements GramAccumulator: the sketch's factored Gram —
+// including buffered rows, without flushing — folds into dst without
+// allocating.
+func (b *NaiveFD) AccumulateGram(dst *matrix.Sym, w float64) { b.sk.AccumulateGram(dst, w) }
+
 // TruncatedGram returns the rank-k truncation of the sketch, the object the
 // Table 1 "FD" row evaluates.
 func (b *NaiveFD) TruncatedGram(k int) *matrix.Sym { return b.sk.TruncatedGram(k) }
@@ -133,6 +141,12 @@ func (b *NaiveSVD) ProcessRows(site int, rows [][]float64) {
 
 // Gram implements Tracker (exact AᵀA).
 func (b *NaiveSVD) Gram() *matrix.Sym { return b.gram.Clone() }
+
+// Sites implements SiteCounter.
+func (b *NaiveSVD) Sites() int { return b.m }
+
+// AccumulateGram implements GramAccumulator.
+func (b *NaiveSVD) AccumulateGram(dst *matrix.Sym, w float64) { dst.AddScaledSym(w, b.gram) }
 
 // TruncatedGram returns A_kᵀA_k for the optimal rank-k approximation.
 func (b *NaiveSVD) TruncatedGram(k int) (*matrix.Sym, error) {

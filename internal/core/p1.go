@@ -177,6 +177,20 @@ func (p *P1) Gram() *matrix.Sym {
 	return p.merged.Gram()
 }
 
+// Sites implements SiteCounter.
+func (p *P1) Sites() int { return p.m }
+
+// AccumulateGram implements GramAccumulator: the coordinator estimate folds
+// into dst without allocating (through the FD sketch's own accumulator in
+// exact mode).
+func (p *P1) AccumulateGram(dst *matrix.Sym, w float64) {
+	if p.mode == IngestFast {
+		dst.AddScaledSym(w, p.coordGram)
+		return
+	}
+	p.merged.AccumulateGram(dst, w)
+}
+
 // EstimateFrobenius implements Tracker.
 func (p *P1) EstimateFrobenius() float64 { return p.tally }
 

@@ -307,6 +307,13 @@ func (p *P2) coordScalar(fj float64) {
 // Gram implements Tracker.
 func (p *P2) Gram() *matrix.Sym { return p.gram.Clone() }
 
+// Sites implements SiteCounter.
+func (p *P2) Sites() int { return p.m }
+
+// AccumulateGram implements GramAccumulator: the coordinator estimate folds
+// into dst without allocating.
+func (p *P2) AccumulateGram(dst *matrix.Sym, w float64) { dst.AddScaledSym(w, p.gram) }
+
 // EstimateFrobenius implements Tracker.
 func (p *P2) EstimateFrobenius() float64 { return p.coordFhat }
 

@@ -109,6 +109,9 @@ func (p *P3) Gram() *matrix.Sym {
 	return g
 }
 
+// Sites implements SiteCounter.
+func (p *P3) Sites() int { return p.m }
+
 // EstimateFrobenius implements Tracker.
 func (p *P3) EstimateFrobenius() float64 { return p.coord.EstimateTotal() }
 
@@ -204,6 +207,9 @@ func (p *P3WR) Gram() *matrix.Sym {
 	}
 	return g
 }
+
+// Sites implements SiteCounter.
+func (p *P3WR) Sites() int { return p.m }
 
 // EstimateFrobenius implements Tracker.
 func (p *P3WR) EstimateFrobenius() float64 { return p.coord.EstimateTotal() }

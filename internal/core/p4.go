@@ -77,6 +77,9 @@ func (p *P4) Dim() int { return p.d }
 // Eps implements Tracker.
 func (p *P4) Eps() float64 { return p.eps }
 
+// Sites implements SiteCounter.
+func (p *P4) Sites() int { return p.m }
+
 // sendProb returns p = 2√m/(εF̂).
 func (p *P4) sendProb() float64 {
 	return 2 * math.Sqrt(float64(p.m)) / (p.eps * p.fro.Estimate())

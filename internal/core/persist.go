@@ -63,6 +63,98 @@ func (p *P2) Snapshot() P2Snapshot {
 	}
 }
 
+// ShardedP2Snapshot is the serializable state of a ShardedTracker whose
+// shards are matrix P2 instances — the persistable sharded configuration.
+// One P2Snapshot per shard, in shard order; the deal cursor is the only
+// other state the wrapper carries, so a restored tracker deals the next
+// block to the same shard the saved one would have.
+type ShardedP2Snapshot struct {
+	Shards []P2Snapshot
+	Next   int     // round-robin deal cursor
+	Rows   []int64 // rows dealt per shard (observability tally)
+}
+
+// SnapshotableP2 reports whether SnapshotShardedP2 can serialize this
+// tracker: every shard must be a matrix P2 instance.
+func (st *ShardedTracker) SnapshotableP2() bool {
+	for _, tr := range st.shards {
+		if _, ok := tr.(*P2); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SnapshotShardedP2 captures the tracker's state after flushing all
+// in-flight blocks. It fails if any shard is not a matrix P2 instance, and
+// reports a shard worker's terminal failure as an error rather than a
+// panic, so a background checkpointer survives a poisoned tracker.
+func (st *ShardedTracker) SnapshotShardedP2() (ShardedP2Snapshot, error) {
+	if r := st.flushErr(); r != nil {
+		return ShardedP2Snapshot{}, fmt.Errorf("core: sharded snapshot: shard worker failed: %v", r)
+	}
+	snap := ShardedP2Snapshot{
+		Shards: make([]P2Snapshot, st.p),
+		Next:   st.next,
+		Rows:   st.ShardRows(),
+	}
+	for i, tr := range st.shards {
+		p2, ok := tr.(*P2)
+		if !ok {
+			return ShardedP2Snapshot{}, fmt.Errorf("core: sharded snapshot: shard %d is %T, want *P2", i, tr)
+		}
+		snap.Shards[i] = p2.Snapshot()
+	}
+	return snap, nil
+}
+
+// RestoreShardedP2 rebuilds a sharded matrix P2 tracker from a snapshot and
+// starts its workers. The restored tracker answers every query identically
+// to the saved one and resumes dealing at the saved cursor. Shards must
+// agree on (m, ε, d) — always true of registry-built sharded trackers; the
+// checks reject corrupt checkpoints with an error instead of a downstream
+// panic or a silently mixed guarantee.
+func RestoreShardedP2(snap ShardedP2Snapshot) (*ShardedTracker, error) {
+	if err := CheckShards(len(snap.Shards)); err != nil {
+		return nil, err
+	}
+	if snap.Next < 0 || snap.Next >= len(snap.Shards) {
+		return nil, fmt.Errorf("core: sharded snapshot deal cursor %d outside [0,%d)", snap.Next, len(snap.Shards))
+	}
+	if snap.Rows != nil && len(snap.Rows) != len(snap.Shards) {
+		return nil, fmt.Errorf("core: sharded snapshot has %d row tallies for %d shards", len(snap.Rows), len(snap.Shards))
+	}
+	shards := make([]Tracker, len(snap.Shards))
+	for i, s := range snap.Shards {
+		// Disagreeing dimensions are a constructor panic downstream and
+		// disagreeing site counts poison the first cross-shard deal; on a
+		// corrupt checkpoint both must surface as an error instead.
+		if s.D != snap.Shards[0].D {
+			return nil, fmt.Errorf("core: sharded snapshot: shard %d has dim %d, shard 0 has %d",
+				i, s.D, snap.Shards[0].D)
+		}
+		if s.M != snap.Shards[0].M {
+			return nil, fmt.Errorf("core: sharded snapshot: shard %d has %d sites, shard 0 has %d",
+				i, s.M, snap.Shards[0].M)
+		}
+		if s.Eps != snap.Shards[0].Eps {
+			return nil, fmt.Errorf("core: sharded snapshot: shard %d has ε=%v, shard 0 has %v",
+				i, s.Eps, snap.Shards[0].Eps)
+		}
+		p2, err := RestoreP2(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		shards[i] = p2
+	}
+	st := newShardedFromTrackers(shards)
+	st.next = snap.Next
+	for i, n := range snap.Rows {
+		st.rows[i].Store(n)
+	}
+	return st, nil
+}
+
 // RestoreP2 rebuilds a matrix P2 instance from a snapshot.
 func RestoreP2(snap P2Snapshot) (*P2, error) {
 	if err := CheckParams(snap.M, snap.Eps, snap.D); err != nil {

@@ -56,6 +56,14 @@ func (w *WindowedTracker) Eps() float64 { return w.current.Eps() }
 // Window returns the target coverage W.
 func (w *WindowedTracker) Window() int { return w.window }
 
+// Sites implements SiteCounter when the inner trackers do (−1 otherwise).
+func (w *WindowedTracker) Sites() int {
+	if sc, ok := w.current.(SiteCounter); ok {
+		return sc.Sites()
+	}
+	return -1
+}
+
 // ProcessRow implements Tracker.
 func (w *WindowedTracker) ProcessRow(site int, row []float64) {
 	w.rotate()

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// Cross-mode equivalence for the windowed tracker's fast-ingest plumbing
+// (the ROADMAP open item): a WindowedTracker whose factory builds fast-mode
+// sub-trackers must rotate at exactly the rows the exact-mode wrapper
+// rotates at — ProcessRows chunks blocks at sub-window boundaries in both
+// modes — and must hold the covariance bound against the exact Gram of the
+// covered suffix at every sub-window boundary, where a fresh fast
+// sub-tracker has just settled its final block.
+func TestWindowedFastIngestSubWindowEquivalence(t *testing.T) {
+	const n, d, m = 4000, 12, 3
+	const eps, window = 0.2, 500
+	rng := rand.New(rand.NewSource(42))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		rows[i] = row
+	}
+
+	exactWin := NewWindowedTracker(window, func() Tracker { return NewP2(m, eps, d) })
+	fastWin := NewWindowedTracker(window, func() Tracker { return NewP2Fast(m, eps, d) })
+
+	// Blocks of 171 rows straddle the 250-row sub-window boundary at
+	// irregular offsets, so every rotation happens mid-block.
+	const block = 171
+	fed := 0
+	for start := 0; start < n; start += block {
+		end := start + block
+		if end > n {
+			end = n
+		}
+		site := (start / block) % m
+		exactWin.ProcessRows(site, rows[start:end])
+		fastWin.ProcessRows(site, rows[start:end])
+		fed = end
+
+		// Identical rotation schedule: both modes cover the same suffix.
+		if a, b := exactWin.Covered(), fastWin.Covered(); a != b {
+			t.Fatalf("after %d rows: exact covers %d, fast covers %d", fed, a, b)
+		}
+
+		// At a sub-window boundary the fast sub-trackers sit exactly at a
+		// block boundary, where the fast mode's covariance guarantee holds.
+		if fastWin.Covered() == window/2 || fed == n {
+			covered := fastWin.Covered()
+			suffix := matrix.NewSym(d)
+			for _, row := range rows[fed-covered : fed] {
+				suffix.AddOuter(1, row)
+			}
+			assertCovarianceBound(t, "windowed-fast", fed, suffix, fastWin.Gram(), eps)
+		}
+	}
+
+	// Fast mode may coalesce row ships but stays within the documented ≤2×
+	// factor of the exact wrapper on the same blocks.
+	es, fs := exactWin.Stats(), fastWin.Stats()
+	if float64(fs.Total()) > 2*float64(es.Total()) {
+		t.Errorf("windowed fast sent %d messages, more than 2x exact's %d", fs.Total(), es.Total())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	distmat "repro"
@@ -18,9 +19,10 @@ import (
 
 // IngestResult is one benchmarked configuration.
 type IngestResult struct {
-	Problem  string  `json:"problem"`        // "heavy-hitters", "matrix", "quantile"
-	Protocol string  `json:"protocol"`       // registry name (plus feed suffix)
-	Mode     string  `json:"mode,omitempty"` // matrix ingest mode: "exact" or "fast"
+	Problem  string  `json:"problem"`          // "heavy-hitters", "matrix", "quantile"
+	Protocol string  `json:"protocol"`         // registry name (plus feed suffix)
+	Mode     string  `json:"mode,omitempty"`   // matrix ingest mode: "exact" or "fast"
+	Shards   int     `json:"shards,omitempty"` // parallel tracker shards (0: unsharded)
 	Sites    int     `json:"sites"`
 	Epsilon  float64 `json:"epsilon"`
 	Dim      int     `json:"dim,omitempty"`
@@ -32,9 +34,13 @@ type IngestResult struct {
 	MessagesPerUpdate float64 `json:"messages_per_update"`
 }
 
-// IngestBenchDoc is the BENCH_ingest.json layout.
+// IngestBenchDoc is the BENCH_ingest.json layout. GoMaxProcs records the
+// parallelism the run had available: sharded entries scale with cores, so
+// their rows/sec is only comparable across artifacts generated at the same
+// GOMAXPROCS (absent in artifacts predating sharding).
 type IngestBenchDoc struct {
 	GeneratedUnix int64          `json:"generated_unix"`
+	GoMaxProcs    int            `json:"gomaxprocs,omitempty"`
 	Results       []IngestResult `json:"results"`
 }
 
@@ -124,6 +130,44 @@ func (r *Runner) IngestBench() ([]IngestResult, error) {
 		}
 	}
 
+	// The sharded counterpart of p2-blocked: the same fast-mode protocol
+	// behind a 4-shard merge-on-query wrapper, fed the identical per-site
+	// block stream. On a multi-core machine (see the doc's gomaxprocs) the
+	// floor is ≥2× the single-shard fast entry — TestShardedSpeedupGuard
+	// enforces it in make perf-guard / CI; on a single core the wrapper's
+	// copy+channel overhead makes it roughly break even. The timed section
+	// ends at a Stats() barrier so in-flight shard work is counted.
+	{
+		const shardCount = 4
+		sess, err := distmat.NewMatrixSession("p2",
+			distmat.WithSites(cfg.Sites), distmat.WithEpsilon(0.1),
+			distmat.WithDim(matDim), distmat.WithSeed(cfg.Seed),
+			distmat.WithFastIngest(), distmat.WithShards(shardCount))
+		if err != nil {
+			return nil, err
+		}
+		defer sess.Close()
+		const block = 1024
+		start := time.Now()
+		for i, site := 0, 0; i < len(rows); i += block {
+			end := i + block
+			if end > len(rows) {
+				end = len(rows)
+			}
+			if err := sess.ProcessRowsAt(site, rows[i:end]); err != nil {
+				return nil, err
+			}
+			site = (site + 1) % cfg.Sites
+		}
+		sess.Stats() // merge barrier: every dealt block applied
+		elapsed := time.Since(start)
+		res := ingestResult("matrix", "p2-sharded", sess, len(rows), elapsed)
+		res.Dim = matDim
+		res.Mode = "fast"
+		res.Shards = shardCount
+		out = append(out, res)
+	}
+
 	// Blocked vs unblocked Frequent Directions: the sketch-level hot path
 	// with no protocol overhead. The unblocked baseline factorizes after
 	// every row (block 1, the row-at-a-time path); the blocked sketch uses
@@ -197,6 +241,98 @@ func ingestResult(problem, proto string, sess *distmat.Session, n int, elapsed t
 	return res
 }
 
+// IngestPair aligns one benchmark entry across two artifacts for
+// cmd/benchcompare. HasOld is false for entries added in the new artifact;
+// Note flags metadata drift — a mode or shards column present on one side
+// only (older artifacts predate those columns) or changed — so such entries
+// diff cleanly instead of erroring or silently comparing unlike runs.
+type IngestPair struct {
+	Key      string
+	New, Old IngestResult
+	HasOld   bool
+	Note     string
+}
+
+// ingestBaseKey is the alignment identity: protocol strings already encode
+// the feed variant (p2, p2+batch, p2-blocked, p2-sharded, ...).
+func ingestBaseKey(r IngestResult) string { return r.Problem + "/" + r.Protocol }
+
+// ingestFullKey additionally pins the mode and shard columns, for artifacts
+// that carry the same base key more than once.
+func ingestFullKey(r IngestResult) string {
+	return fmt.Sprintf("%s|%s|%d", ingestBaseKey(r), r.Mode, r.Shards)
+}
+
+// MatchIngestResults aligns two artifacts' entries. Each new entry matches
+// the old entry with the same problem/protocol/mode/shards when one exists,
+// and otherwise falls back to the plain problem/protocol identity — the
+// path taken against older artifacts whose entries predate the mode (PR 4)
+// or shards columns; the pair's Note records the drift. The fallback is
+// skipped when it would be ambiguous (the old artifact carries the base key
+// more than once). Old entries matched by nothing are returned as removed,
+// in input order.
+func MatchIngestResults(olds, news []IngestResult) (pairs []IngestPair, removed []IngestResult) {
+	byFull := make(map[string]int, len(olds))
+	byBase := make(map[string]int, len(olds))
+	baseCount := make(map[string]int, len(olds))
+	for i, r := range olds {
+		byFull[ingestFullKey(r)] = i
+		byBase[ingestBaseKey(r)] = i
+		baseCount[ingestBaseKey(r)]++
+	}
+	// Two passes so exact full-key matches always win: only old entries no
+	// full-key match claimed are available to the fallback, and an old
+	// entry feeds at most one pair — when the new artifact splits one old
+	// base key across several mode/shards columns, the extras report as
+	// added rather than diffing against an already-consumed baseline.
+	used := make([]bool, len(olds))
+	pairs = make([]IngestPair, len(news))
+	for pi, n := range news {
+		pairs[pi] = IngestPair{Key: ingestBaseKey(n), New: n}
+		if i, ok := byFull[ingestFullKey(n)]; ok && !used[i] {
+			pairs[pi].Old, pairs[pi].HasOld = olds[i], true
+			used[i] = true
+		}
+	}
+	for pi := range pairs {
+		if pairs[pi].HasOld {
+			continue
+		}
+		n := pairs[pi].New
+		if i, ok := byBase[ingestBaseKey(n)]; ok && baseCount[ingestBaseKey(n)] == 1 && !used[i] {
+			pairs[pi].Old, pairs[pi].HasOld = olds[i], true
+			used[i] = true
+			pairs[pi].Note = ingestDriftNote(olds[i], n)
+		}
+	}
+	for i, r := range olds {
+		if !used[i] {
+			removed = append(removed, r)
+		}
+	}
+	return pairs, removed
+}
+
+// ingestDriftNote describes how the old entry's mode/shards metadata
+// differs from the new one's ("" when identical).
+func ingestDriftNote(old, new IngestResult) string {
+	col := func(mode string, shards int) string {
+		s := mode
+		if s == "" {
+			s = "—"
+		}
+		if shards > 1 {
+			s = fmt.Sprintf("%s×%d", s, shards)
+		}
+		return s
+	}
+	o, n := col(old.Mode, old.Shards), col(new.Mode, new.Shards)
+	if o == n {
+		return ""
+	}
+	return fmt.Sprintf("mode/shards %s→%s", o, n)
+}
+
 // ReadIngestBenchJSON parses a BENCH_ingest.json document from disk; the
 // cmd/benchcompare tool uses it to diff perf artifacts across revisions.
 func ReadIngestBenchJSON(path string) (IngestBenchDoc, error) {
@@ -221,5 +357,9 @@ func (r *Runner) WriteIngestBenchJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(IngestBenchDoc{GeneratedUnix: time.Now().Unix(), Results: results})
+	return enc.Encode(IngestBenchDoc{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Results:       results,
+	})
 }

@@ -1,0 +1,98 @@
+package experiments
+
+import "testing"
+
+// TestMatchIngestResultsToleratesOlderArtifacts covers the benchcompare
+// alignment rules: entries from artifacts predating the mode and shards
+// columns still pair with their successors (annotated, not dropped or
+// erroring), new entries report as added, vanished ones as removed, and
+// duplicate base keys only match when the full identity agrees.
+func TestMatchIngestResultsToleratesOlderArtifacts(t *testing.T) {
+	olds := []IngestResult{
+		{Problem: "matrix", Protocol: "p2", RowsPerSec: 100}, // pre-PR4: no mode column
+		{Problem: "matrix", Protocol: "p2-blocked", Mode: "fast", RowsPerSec: 900},
+		{Problem: "heavy-hitters", Protocol: "p1", RowsPerSec: 5000}, // removed below
+		{Problem: "matrix", Protocol: "dup", Mode: "exact", RowsPerSec: 10},
+		{Problem: "matrix", Protocol: "dup", Mode: "fast", RowsPerSec: 20},
+	}
+	news := []IngestResult{
+		{Problem: "matrix", Protocol: "p2", Mode: "exact", RowsPerSec: 110},                    // gains mode
+		{Problem: "matrix", Protocol: "p2-blocked", Mode: "fast", RowsPerSec: 950},             // exact match
+		{Problem: "matrix", Protocol: "p2-sharded", Mode: "fast", Shards: 4, RowsPerSec: 2000}, // added
+		{Problem: "matrix", Protocol: "dup", Mode: "fast", RowsPerSec: 25},                     // full-key match
+		{Problem: "matrix", Protocol: "dup", Mode: "off", RowsPerSec: 1},                       // ambiguous base: added
+	}
+	pairs, removed := MatchIngestResults(olds, news)
+	if len(pairs) != len(news) {
+		t.Fatalf("got %d pairs for %d new entries", len(pairs), len(news))
+	}
+
+	// Old mode-less p2 pairs with the new moded one, annotated.
+	if p := pairs[0]; !p.HasOld || p.Old.RowsPerSec != 100 || p.Note == "" {
+		t.Errorf("mode-less old entry: pair = %+v, want matched with drift note", p)
+	}
+	// Exact full-key match carries no note.
+	if p := pairs[1]; !p.HasOld || p.Old.RowsPerSec != 900 || p.Note != "" {
+		t.Errorf("exact match: pair = %+v, want matched without note", p)
+	}
+	// New sharded entry is added, not erroring.
+	if p := pairs[2]; p.HasOld {
+		t.Errorf("sharded entry: pair = %+v, want added", p)
+	}
+	// Duplicate base key: the full identity picks the right old entry...
+	if p := pairs[3]; !p.HasOld || p.Old.RowsPerSec != 20 || p.Note != "" {
+		t.Errorf("dup full-key: pair = %+v, want the fast old entry", p)
+	}
+	// ...and an unmatched mode does not fall back ambiguously.
+	if p := pairs[4]; p.HasOld {
+		t.Errorf("dup ambiguous: pair = %+v, want added", p)
+	}
+
+	// Removed: the hh entry and the unmatched exact-mode dup.
+	if len(removed) != 2 || removed[0].Protocol != "p1" || removed[1].Protocol != "dup" {
+		t.Errorf("removed = %+v, want [hh/p1, matrix/dup(exact)]", removed)
+	}
+}
+
+// TestMatchIngestResultsFallbackConsumesOldOnce: when the new artifact
+// splits one old mode-less entry into several mode/shards variants, only
+// the first variant falls back onto the old entry; the rest are added, not
+// silently diffed against an already-consumed baseline.
+func TestMatchIngestResultsFallbackConsumesOldOnce(t *testing.T) {
+	olds := []IngestResult{{Problem: "matrix", Protocol: "p2", RowsPerSec: 100}}
+	news := []IngestResult{
+		{Problem: "matrix", Protocol: "p2", Mode: "exact", RowsPerSec: 110},
+		{Problem: "matrix", Protocol: "p2", Mode: "fast", RowsPerSec: 900},
+	}
+	pairs, removed := MatchIngestResults(olds, news)
+	if !pairs[0].HasOld || pairs[0].Note == "" {
+		t.Errorf("first variant: pair = %+v, want matched with note", pairs[0])
+	}
+	if pairs[1].HasOld {
+		t.Errorf("second variant: pair = %+v, want added", pairs[1])
+	}
+	if len(removed) != 0 {
+		t.Errorf("removed = %+v, want none", removed)
+	}
+}
+
+// TestMatchIngestResultsFullKeyWinsOverFallback: full-key matches claim
+// their old entry regardless of new-artifact order, so a mode-less-looking
+// variant listed first cannot steal the baseline from the exact match.
+func TestMatchIngestResultsFullKeyWinsOverFallback(t *testing.T) {
+	olds := []IngestResult{{Problem: "matrix", Protocol: "p2", Mode: "exact", RowsPerSec: 100}}
+	news := []IngestResult{
+		{Problem: "matrix", Protocol: "p2", Mode: "fast", RowsPerSec: 900},  // listed first
+		{Problem: "matrix", Protocol: "p2", Mode: "exact", RowsPerSec: 110}, // exact full-key match
+	}
+	pairs, removed := MatchIngestResults(olds, news)
+	if pairs[0].HasOld {
+		t.Errorf("fast variant: pair = %+v, want added (old entry belongs to the exact match)", pairs[0])
+	}
+	if !pairs[1].HasOld || pairs[1].Old.RowsPerSec != 100 || pairs[1].Note != "" {
+		t.Errorf("exact variant: pair = %+v, want full-key match without note", pairs[1])
+	}
+	if len(removed) != 0 {
+		t.Errorf("removed = %+v, want none", removed)
+	}
+}

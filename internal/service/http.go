@@ -60,6 +60,7 @@ func writeErr(w http.ResponseWriter, err error) {
 		errors.Is(err, distmat.ErrInvalidSite),
 		errors.Is(err, distmat.ErrInvalidQuery),
 		errors.Is(err, distmat.ErrNotPersistable),
+		errors.Is(err, distmat.ErrNotShardable),
 		errors.Is(err, errBadRequest):
 		status = http.StatusBadRequest
 	}

@@ -112,6 +112,11 @@ func (m *Manager) Create(name string, spec Spec) (*Tracker, error) {
 	spec.Sites, spec.Epsilon, spec.Seed = cfg.Sites, cfg.Epsilon, cfg.Seed
 	if spec.Kind == KindMatrix {
 		spec.Dim = cfg.Dim
+		// Echo the shard count only for actually-sharded trackers, so
+		// unsharded specs keep their pre-sharding wire form.
+		if shards := sess.Shards(); shards > 1 {
+			spec.Shards = shards
+		}
 	}
 	if spec.Kind == KindQuantile {
 		spec.Bits = cfg.Bits
@@ -120,9 +125,13 @@ func (m *Manager) Create(name string, spec Spec) (*Tracker, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
+		// The session was built before the registration checks; release it
+		// (a sharded tracker holds worker goroutines).
+		sess.Close()
 		return nil, ErrClosed
 	}
 	if _, ok := m.trackers[name]; ok {
+		sess.Close()
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	t := newTracker(name, spec, sess, m.opts.Shards, m.opts.QueueDepth, m.opts.EnqueueTimeout)

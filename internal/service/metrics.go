@@ -29,6 +29,12 @@ type TrackerMetrics struct {
 	// IngestPerSec is rows/items applied per second of tracker lifetime.
 	IngestPerSec float64 `json:"ingest_per_sec"`
 
+	// Shards and ShardRows report the tracker-level compute sharding of a
+	// matrix tracker created with Spec.Shards > 1: the shard count and the
+	// rows dealt to each shard. Omitted for unsharded trackers.
+	Shards    int     `json:"shards,omitempty"`
+	ShardRows []int64 `json:"shard_rows,omitempty"`
+
 	Persistable        bool   `json:"persistable"`
 	LastCheckpointUnix int64  `json:"last_checkpoint_unix,omitempty"`
 	CheckpointError    string `json:"checkpoint_error,omitempty"`
@@ -40,10 +46,12 @@ type Metrics struct {
 	Trackers      map[string]TrackerMetrics `json:"trackers"`
 }
 
-// metrics assembles one tracker's row. Safe during ingestion: counters are
-// atomic and the communication accountant is mutex-guarded.
+// metrics assembles one tracker's row. Safe during ingestion and never
+// stalls it: counters are atomic, the communication accountant is
+// mutex-guarded, and sharded trackers are read through the relaxed path
+// (no merge barrier — the tally may trail in-flight blocks slightly).
 func (t *Tracker) metrics() TrackerMetrics {
-	stats := t.Stats()
+	stats := t.statsRelaxed()
 	count := t.Count()
 	tm := TrackerMetrics{
 		Kind:     t.spec.Kind,
@@ -62,6 +70,10 @@ func (t *Tracker) metrics() TrackerMetrics {
 		DownUnits:  stats.DownUnits,
 
 		Persistable: t.persistable,
+	}
+	if shards, rows := t.ShardInfo(); shards > 1 {
+		tm.Shards = shards
+		tm.ShardRows = rows
 	}
 	if count > 0 {
 		tm.MessagesPerUpdate = float64(stats.Total()) / float64(count)

@@ -13,6 +13,10 @@
 //     direct Go callers) enqueue batches keyed by site, so per-site order
 //     is preserved, concurrent feeders pipeline instead of contending, and
 //     a full queue pushes back (ErrBusy) instead of buffering unboundedly.
+//     Matrix trackers can additionally run P parallel compute shards
+//     (Spec "shards", core.ShardedTracker): posted blocks are dealt
+//     round-robin across P private tracker instances and queries merge the
+//     shard Grams, scaling the linear-algebra hot path across cores.
 //   - Checkpointed recovery: persistable sessions are periodically saved
 //     (and always on Close) to one file per tracker in the data directory,
 //     via the facade's SaveState/RestoreSession over the gob snapshots in
@@ -106,9 +110,16 @@ type Spec struct {
 	TrackExact bool    `json:"track_exact,omitempty"`
 	// Fast opts the matrix protocols that support it into the blocked fast
 	// ingest mode (Config.FastIngest): POST …/rows batches fold as whole
-	// blocks with per-block decompositions, the service's highest-throughput
-	// configuration.
+	// blocks with per-block decompositions.
 	Fast bool `json:"fast,omitempty"`
+	// Shards runs a matrix tracker as P parallel shards merged at query
+	// time (Config.Shards): posted blocks are dealt round-robin across P
+	// compute workers, each with a private tracker instance and scratch.
+	// Combined with Fast this is the service's highest-throughput
+	// configuration. Distinct from Options.Shards, which sets the number of
+	// ingest queue workers per tracker; queue workers enqueue, compute
+	// shards do the linear algebra. Non-matrix kinds reject Shards > 1.
+	Shards int `json:"shards,omitempty"`
 }
 
 // options translates the set fields into functional options.
@@ -143,6 +154,9 @@ func (sp Spec) options() []distmat.Option {
 	}
 	if sp.Fast {
 		opts = append(opts, distmat.WithFastIngest())
+	}
+	if sp.Shards != 0 {
+		opts = append(opts, distmat.WithShards(sp.Shards))
 	}
 	return opts
 }

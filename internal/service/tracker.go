@@ -84,10 +84,19 @@ func newTracker(name string, spec Spec, sess *distmat.Session, shards, depth int
 	return t
 }
 
-// close stops the workers. Queued-but-unapplied batches are dropped; their
-// enqueuers get ErrClosed.
+// close stops the queue workers, then closes the session so a sharded
+// tracker's compute workers stop too (flushing their in-flight blocks
+// first, so a final checkpoint after close persists every applied batch).
+// Queued-but-unapplied batches are dropped; their enqueuers get ErrClosed.
 func (t *Tracker) close() {
-	t.closeOnce.Do(func() { close(t.closed) })
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.wg.Wait()
+		// Under mu: a periodic checkpoint may still be serializing state.
+		t.mu.Lock()
+		t.sess.Close()
+		t.mu.Unlock()
+	})
 	t.wg.Wait()
 }
 
@@ -222,6 +231,16 @@ func (t *Tracker) Stats() distmat.Stats {
 	return t.sess.Stats()
 }
 
+// statsRelaxed is the monitoring variant of Stats: on a sharded session it
+// skips the merge barrier, so a /metrics scrape never stalls ingestion
+// behind a shard pipeline drain (the tally may trail enqueued blocks by up
+// to the shard queue depth).
+func (t *Tracker) statsRelaxed() distmat.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sess.StatsRelaxed()
+}
+
 // Snapshot returns an immutable view of the session, taken under the
 // tracker lock.
 func (t *Tracker) Snapshot() distmat.Snapshot {
@@ -242,6 +261,15 @@ func (t *Tracker) Quantile(phi float64) (uint64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.sess.Quantile(phi)
+}
+
+// ShardInfo returns the tracker-level compute shard count (1 when
+// unsharded) and the rows dealt to each shard (nil when unsharded), taken
+// under the tracker lock.
+func (t *Tracker) ShardInfo() (int, []int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sess.Shards(), t.sess.ShardRows()
 }
 
 // QueueLen returns the total number of batches waiting in the shard

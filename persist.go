@@ -19,7 +19,8 @@ import (
 // internal/service's checkpointed recovery; any at-least-once ingestion
 // pipeline can use it directly.
 //
-// Persistable sessions are the deterministic ones: matrix "p2",
+// Persistable sessions are the deterministic ones: matrix "p2" (sharded or
+// not — a sharded session snapshots every shard plus the deal cursor),
 // heavy-hitters "p2" and "exact", and quantile sessions, with the default
 // (uniform random) or round-robin assigner. Randomized protocols (p3, p4,
 // ...), windowed trackers, wrapped custom trackers, and custom Assigner
@@ -51,6 +52,7 @@ type sessionState struct {
 	Bits       uint
 	TrackExact bool
 	FastIngest bool
+	Shards     int
 
 	Count int64
 	Draws int64 // assigner draws, replayed on restore
@@ -64,6 +66,7 @@ type sessionState struct {
 
 func init() {
 	gob.Register(core.P2Snapshot{})
+	gob.Register(core.ShardedP2Snapshot{})
 	gob.Register(hh.P2Snapshot{})
 	gob.Register(hh.ExactSnapshot{})
 	gob.Register(quantile.TrackerSnapshot{})
@@ -82,7 +85,13 @@ func notPersistable(format string, args ...any) error {
 func (s *Session) Persistable() error {
 	switch s.kind {
 	case matrixKind:
-		if _, ok := s.mat.(*core.P2); !ok {
+		switch t := s.mat.(type) {
+		case *core.P2:
+		case *core.ShardedTracker:
+			if !t.SnapshotableP2() {
+				return notPersistable("sharded matrix tracker %q has no snapshot support (persistable shards: p2)", s.proto)
+			}
+		default:
 			return notPersistable("matrix tracker %q has no snapshot support (persistable: p2)", s.proto)
 		}
 	case hhKind:
@@ -108,6 +117,12 @@ func (s *Session) trackerSnapshot() (any, error) {
 		switch t := s.mat.(type) {
 		case *core.P2:
 			return t.Snapshot(), nil
+		case *core.ShardedTracker:
+			snap, err := t.SnapshotShardedP2()
+			if err != nil {
+				return nil, notPersistable("%v", err)
+			}
+			return snap, nil
 		default:
 			return nil, notPersistable("matrix tracker %q has no snapshot support (persistable: p2)", s.proto)
 		}
@@ -127,6 +142,16 @@ func (s *Session) trackerSnapshot() (any, error) {
 	default:
 		return s.qt.Snapshot(), nil
 	}
+}
+
+// stateShards returns the shard count persisted in sessionState: the live
+// tracker's when it is sharded (covering wrapped sessions whose Config
+// never set Shards), the Config echo otherwise.
+func (s *Session) stateShards() int {
+	if st, ok := s.mat.(*core.ShardedTracker); ok {
+		return st.ShardCount()
+	}
+	return s.cfg.Shards
 }
 
 // assignerState extracts the persisted assigner discriminator.
@@ -168,6 +193,11 @@ func (s *Session) SaveState(w io.Writer) error {
 		Bits:       s.cfg.Bits,
 		TrackExact: s.cfg.TrackExact,
 		FastIngest: s.cfg.FastIngest,
+		// From the tracker when sharded, not the Config echo: a wrapped
+		// session can carry a sharded tracker its Config never asked for,
+		// and the restore-time consistency check compares against the
+		// snapshot's shard count.
+		Shards: s.stateShards(),
 
 		Count: s.count,
 		Draws: s.draws,
@@ -186,7 +216,7 @@ func (s *Session) SaveState(w io.Writer) error {
 // RestoreSession rebuilds a session saved with SaveState. The restored
 // session answers every query identically to the saved one and resumes
 // ingestion under the original continuous guarantee.
-func RestoreSession(r io.Reader) (*Session, error) {
+func RestoreSession(r io.Reader) (_ *Session, err error) {
 	var st sessionState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("distmat: decoding session state: %w", err)
@@ -197,9 +227,16 @@ func RestoreSession(r io.Reader) (*Session, error) {
 	cfg := Config{
 		Sites: st.Sites, Epsilon: st.Epsilon, Dim: st.Dim, Seed: st.Seed,
 		Copies: st.Copies, Rank: st.Rank, Bits: st.Bits, TrackExact: st.TrackExact,
-		FastIngest: st.FastIngest,
+		FastIngest: st.FastIngest, Shards: st.Shards,
 	}
 	s := &Session{proto: st.Proto, cfg: cfg, count: st.Count, draws: st.Draws}
+	// A restored sharded tracker starts its worker goroutines immediately;
+	// release them if a later validation step rejects the state.
+	defer func() {
+		if err != nil {
+			s.Close()
+		}
+	}()
 
 	switch st.Kind {
 	case matrixKind.String():
@@ -207,15 +244,26 @@ func RestoreSession(r io.Reader) (*Session, error) {
 		if err := cfg.validateMatrix(); err != nil {
 			return nil, err
 		}
-		snap, ok := st.Tracker.(core.P2Snapshot)
-		if !ok {
+		switch snap := st.Tracker.(type) {
+		case core.P2Snapshot:
+			tr, err := core.RestoreP2(snap)
+			if err != nil {
+				return nil, invalidConfig(err)
+			}
+			s.mat = tr
+		case core.ShardedP2Snapshot:
+			if cfg.Shards != len(snap.Shards) {
+				return nil, invalidConfigf("session state says %d shards, snapshot carries %d",
+					cfg.Shards, len(snap.Shards))
+			}
+			tr, err := core.RestoreShardedP2(snap)
+			if err != nil {
+				return nil, invalidConfig(err)
+			}
+			s.mat = tr
+		default:
 			return nil, fmt.Errorf("distmat: matrix session state carries %T", st.Tracker)
 		}
-		tr, err := core.RestoreP2(snap)
-		if err != nil {
-			return nil, invalidConfig(err)
-		}
-		s.mat = tr
 		if cfg.TrackExact {
 			if len(st.Exact) != cfg.Dim*cfg.Dim {
 				return nil, invalidConfigf("exact Gram has %d values for d=%d", len(st.Exact), cfg.Dim)

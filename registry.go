@@ -297,7 +297,11 @@ func LookupHHProtocol(name string) (ProtocolInfo, bool) {
 
 // NewMatrixByName builds the named matrix tracker from cfg. Name lookup is
 // case-insensitive and accepts the registered aliases; unknown names return
-// ErrUnknownProtocol and invalid configurations ErrInvalidConfig.
+// ErrUnknownProtocol and invalid configurations ErrInvalidConfig. With
+// Shards > 1 the protocol is built once per shard (randomized protocols at
+// Seed+shardIndex) inside a core.ShardedTracker that deals ingestion blocks
+// across worker goroutines and merges shard Grams at query time; call
+// Session.Close (or the tracker's own Close) when done to stop the workers.
 func NewMatrixByName(name string, cfg Config) (MatrixTracker, error) {
 	e, ok := lookupMatrix[canonicalName(name)]
 	if !ok {
@@ -305,6 +309,14 @@ func NewMatrixByName(name string, cfg Config) (MatrixTracker, error) {
 	}
 	if err := cfg.validateMatrix(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		return core.NewShardedTracker(cfg.Shards, func(shard int) core.Tracker {
+			sc := cfg
+			sc.Shards = 0
+			sc.Seed = cfg.Seed + int64(shard)
+			return e.build(sc)
+		}), nil
 	}
 	return e.build(cfg), nil
 }

@@ -42,7 +42,10 @@ func (k sessionKind) String() string {
 // with SaveState/RestoreSession (persist.go). Sessions are not safe for
 // concurrent use; for a concurrent deployment see NewHHCluster,
 // NewMatrixCluster, the TCP runtime, or the cmd/distserve service layer,
-// which serializes many feeders onto one session.
+// which serializes many feeders onto one session. Matrix sessions built
+// with WithShards(P) parallelize internally — one caller, P worker
+// goroutines behind the tracker — and should be Closed when abandoned so
+// the workers stop.
 type Session struct {
 	kind  sessionKind
 	proto string
@@ -52,6 +55,8 @@ type Session struct {
 	mat MatrixTracker    // matrixKind
 	hhp HHProtocol       // hhKind
 	qt  *QuantileTracker // quantileKind
+
+	closed bool // set by Close; ingestion then returns ErrSessionClosed
 
 	exact *Sym // exact Gram AᵀA, non-nil iff cfg.TrackExact on a matrix session
 	count int64
@@ -122,14 +127,26 @@ func NewMatrixSession(proto string, opts ...Option) (*Session, error) {
 
 // WrapMatrixSession builds a matrix session around an existing tracker —
 // one the registry cannot name, e.g. a hand-built WindowedTracker or a
-// custom Tracker implementation. The tracker's dimension and ε are echoed
-// into the session's Config.
+// custom Tracker implementation. The tracker's dimension, ε, and shard
+// count are echoed into the session's Config. WithShards is rejected here:
+// the session carries exactly the tracker you pass, so build a sharded
+// tracker first (NewMatrixByName with Config.Shards, or
+// core.NewShardedTracker) and wrap that.
 func WrapMatrixSession(t MatrixTracker, opts ...Option) (*Session, error) {
 	cfg := NewConfig(opts...)
 	if err := adoptAssigner(&cfg); err != nil {
 		return nil, err
 	}
+	if cfg.Shards > 1 {
+		return nil, notShardablef("wrapped sessions carry the tracker as passed; wrap an already-sharded tracker instead")
+	}
+	if cfg.Shards < 0 {
+		return nil, invalidConfigf("need shards ≥ 0, got %d", cfg.Shards)
+	}
 	cfg.Dim, cfg.Epsilon = t.Dim(), t.Eps()
+	if st, ok := t.(*core.ShardedTracker); ok {
+		cfg.Shards = st.ShardCount()
+	}
 	s := &Session{kind: matrixKind, proto: canonicalName(t.Name()), cfg: cfg, mat: t}
 	if cfg.TrackExact {
 		s.exact = matrix.NewSym(cfg.Dim)
@@ -196,13 +213,55 @@ func (s *Session) Count() int64 { return s.count }
 // Matrix returns the underlying matrix tracker, or nil for other kinds.
 func (s *Session) Matrix() MatrixTracker { return s.mat }
 
+// Shards returns the number of parallel tracker shards behind a matrix
+// session built with WithShards; 1 for every unsharded session.
+func (s *Session) Shards() int {
+	if st, ok := s.mat.(*core.ShardedTracker); ok {
+		return st.ShardCount()
+	}
+	return 1
+}
+
+// ShardRows returns the rows dealt to each tracker shard so far (the
+// service layer's per-shard metrics), nil for unsharded sessions.
+func (s *Session) ShardRows() []int64 {
+	if st, ok := s.mat.(*core.ShardedTracker); ok {
+		return st.ShardRows()
+	}
+	return nil
+}
+
+// Close releases the resources a session holds beyond its plain state:
+// sharded matrix sessions stop their worker goroutines (after flushing all
+// in-flight blocks). A closed session still answers queries; further
+// ingestion returns ErrSessionClosed. Close is idempotent, and for every
+// other session kind it only marks the session closed.
+func (s *Session) Close() error {
+	s.closed = true
+	if st, ok := s.mat.(*core.ShardedTracker); ok {
+		st.Close()
+	}
+	return nil
+}
+
+// checkOpen rejects ingestion on a closed session with the facade's error
+// convention (the underlying sharded tracker would panic instead).
+func (s *Session) checkOpen() error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	return nil
+}
+
 // HH returns the underlying heavy-hitters protocol, or nil for other kinds.
 func (s *Session) HH() HHProtocol { return s.hhp }
 
 // Quantiles returns the underlying quantile tracker, or nil for other kinds.
 func (s *Session) Quantiles() *QuantileTracker { return s.qt }
 
-// Stats returns the communication tally so far.
+// Stats returns the communication tally so far. On a sharded matrix
+// session this waits for every in-flight block to be applied; monitoring
+// paths that must not stall ingestion use StatsRelaxed.
 func (s *Session) Stats() Stats {
 	switch s.kind {
 	case matrixKind:
@@ -214,8 +273,22 @@ func (s *Session) Stats() Stats {
 	}
 }
 
+// StatsRelaxed returns the communication tally without forcing a sharded
+// session's merge barrier: the tally covers applied blocks and may trail
+// enqueued work by up to the shard queue depth. Identical to Stats for
+// every other session — the monitoring read the service's /metrics uses.
+func (s *Session) StatsRelaxed() Stats {
+	if st, ok := s.mat.(*core.ShardedTracker); ok {
+		return st.StatsApplied()
+	}
+	return s.Stats()
+}
+
 // ProcessRow ingests one matrix row, assigning it to a site.
 func (s *Session) ProcessRow(row []float64) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if s.kind != matrixKind {
 		return fmt.Errorf("%w: ProcessRow on a %s session", ErrWrongKind, s.kind)
 	}
@@ -232,6 +305,9 @@ func (s *Session) ProcessRow(row []float64) error {
 // bypassing the session's assigner — the ingestion path for deployments
 // where the caller is the site (e.g. the service API's per-site feeds).
 func (s *Session) ProcessRowAt(site int, row []float64) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if s.kind != matrixKind {
 		return fmt.Errorf("%w: ProcessRowAt on a %s session", ErrWrongKind, s.kind)
 	}
@@ -283,11 +359,18 @@ func (s *Session) validRowPrefix(rows [][]float64) (int, error) {
 
 // ProcessRows ingests a batch of matrix rows through the blocked batch
 // path: rows are dealt to sites by the session's assigner in order, and
-// consecutive same-site runs are handed to the tracker as one block. The
-// result — tracker state, message tallies, assigner draws — is identical
-// to calling ProcessRow once per row. On error the valid rows preceding
-// the offending one remain ingested; the error reports its index.
+// consecutive same-site runs are handed to the tracker as one block. For
+// unsharded sessions the result — tracker state, message tallies, assigner
+// draws — is identical to calling ProcessRow once per row; on a sharded
+// session (WithShards) the block boundaries decide which shard each row
+// lands on, so batched and per-row feeds are each deterministic but differ
+// from one another (both hold the same covariance guarantee). On error the
+// valid rows preceding the offending one remain ingested; the error
+// reports its index.
 func (s *Session) ProcessRows(rows [][]float64) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if s.kind != matrixKind {
 		return fmt.Errorf("%w: ProcessRows on a %s session", ErrWrongKind, s.kind)
 	}
@@ -320,6 +403,9 @@ func (s *Session) ProcessRows(rows [][]float64) error {
 // the service layer drives. On error the valid rows preceding the
 // offending one remain ingested; the error reports its index.
 func (s *Session) ProcessRowsAt(site int, rows [][]float64) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if s.kind != matrixKind {
 		return fmt.Errorf("%w: ProcessRowsAt on a %s session", ErrWrongKind, s.kind)
 	}
@@ -334,6 +420,9 @@ func (s *Session) ProcessRowsAt(site int, rows [][]float64) error {
 // ProcessItem ingests one weighted item: (element, weight) for
 // heavy-hitters sessions, (value, weight) for quantile sessions.
 func (s *Session) ProcessItem(it WeightedItem) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if err := s.checkItem(it); err != nil {
 		return err
 	}
@@ -346,6 +435,9 @@ func (s *Session) ProcessItem(it WeightedItem) error {
 // ProcessItemAt ingests one weighted item at an explicit site in
 // [0, Sites), bypassing the session's assigner.
 func (s *Session) ProcessItemAt(site int, it WeightedItem) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if err := s.checkItem(it); err != nil {
 		return err
 	}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-compare perf-guard experiments fmt vet
+.PHONY: build test race bench bench-compare perf-guard experiments fmt vet lint lint-findings
 
 build:
 	$(GO) build ./...
@@ -49,3 +49,31 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Pinned external linters. CI installs exactly these versions; locally the
+# steps are skipped (with a notice) when the binaries are absent, so `make
+# lint` never needs network access.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+# The required lint gate, run by CI on every push: formatting, go vet, the
+# project's own distlint analyzers (hot-path allocations, mutex guards,
+# snapshot purity, error contracts, worker lifecycles — see
+# internal/analysis), and the pinned external linters when installed.
+# distlint type-checks against the build cache, so build first.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) run ./cmd/distlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not installed; skipping (CI pins $(GOVULNCHECK_VERSION))"; fi
+
+# Survey mode: print every distlint finding as clickable file:line:col
+# lines without failing, for working through a newly annotated package.
+lint-findings:
+	$(GO) build ./...
+	$(GO) run ./cmd/distlint -exit-zero ./...

@@ -58,7 +58,7 @@ var (
 
 // invalidConfig wraps a detailed validation failure in ErrInvalidConfig.
 func invalidConfig(detail error) error {
-	return fmt.Errorf("%w: %s", ErrInvalidConfig, detail)
+	return fmt.Errorf("%w: %w", ErrInvalidConfig, detail)
 }
 
 // invalidConfigf wraps a formatted validation failure in ErrInvalidConfig.

@@ -1,0 +1,35 @@
+package distmat
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestInvalidConfigPreservesWrappedChain: invalidConfig must wrap the
+// detail error with %w, not flatten it with %s, so callers can still match
+// the underlying cause with errors.Is/As through the ErrInvalidConfig
+// wrapper. Regression test for the distlint errcontract finding.
+func TestInvalidConfigPreservesWrappedChain(t *testing.T) {
+	inner := errors.New("inner cause")
+	detail := fmt.Errorf("validating sites: %w", inner)
+	err := invalidConfig(detail)
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("invalidConfig result does not match ErrInvalidConfig: %v", err)
+	}
+	if !errors.Is(err, inner) {
+		t.Errorf("invalidConfig flattened the detail error; errors.Is lost the inner cause: %v", err)
+	}
+}
+
+// TestInvalidConfigfMessage pins the formatted variant's rendering, which
+// shares the sentinel wrap but has no inner error to preserve.
+func TestInvalidConfigfMessage(t *testing.T) {
+	err := invalidConfigf("need m ≥ %d", 1)
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("invalidConfigf result does not match ErrInvalidConfig: %v", err)
+	}
+	if want := ErrInvalidConfig.Error() + ": need m ≥ 1"; err.Error() != want {
+		t.Errorf("invalidConfigf message = %q, want %q", err.Error(), want)
+	}
+}

@@ -25,9 +25,11 @@ type WeightedItem = gen.WeightedItem
 func RunHH(p HHProtocol, items []WeightedItem, asg Assigner) {
 	s, err := WrapHHSession(p, WithAssigner(asg))
 	if err != nil {
+		//distlint:panic-ok pre-session convenience contract: misuse is a programmer error
 		panic(err)
 	}
 	if err := s.ProcessItems(items); err != nil {
+		//distlint:panic-ok pre-session convenience contract: misuse is a programmer error
 		panic(err)
 	}
 }
@@ -66,6 +68,7 @@ func NewSpaceSaving(k int) *SpaceSaving { return sketch.NewSpaceSaving(k) }
 func mustHH(name string, cfg Config) HHProtocol {
 	p, err := NewHHByName(name, cfg)
 	if err != nil {
+		//distlint:panic-ok implements the deprecated constructors' documented panic contract
 		panic(err)
 	}
 	return p

@@ -1,0 +1,35 @@
+package analysis
+
+import "repro/internal/analysis/lintkit"
+
+// All returns every distlint analyzer, unscoped. The test harness runs
+// these directly against fixtures; the driver uses Suite to respect each
+// analyzer's package scope.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		ErrContract,
+		HotPathAlloc,
+		MutexGuard,
+		SnapshotPurity,
+		WorkerLifecycle,
+	}
+}
+
+// Suite returns the analyzers that apply to the package with the given
+// import path. Directive-driven analyzers (hotpath, guarded-by, snapshot
+// aliasing) run everywhere — they only fire where annotations exist.
+// ErrContract is scoped to the public facade and the service layer, whose
+// error-handling conventions it encodes; WorkerLifecycle is scoped to the
+// two packages that spawn long-lived worker goroutines.
+func Suite(pkgPath string) []*lintkit.Analyzer {
+	suite := []*lintkit.Analyzer{HotPathAlloc, MutexGuard, SnapshotPurity}
+	switch pkgPath {
+	case "repro", "repro/internal/service":
+		suite = append(suite, ErrContract)
+	}
+	switch pkgPath {
+	case "repro/internal/core", "repro/internal/service":
+		suite = append(suite, WorkerLifecycle)
+	}
+	return suite
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// HotPathAlloc enforces the repository's zero-alloc steady-state contract:
+// a function annotated //distlint:hotpath (Sym.AddBlock, FD.AppendRows, the
+// fast ingest modes, the sharded deal path, ...) must not contain
+// heap-allocating constructs — make, new, append growth, slice/map
+// composite literals, closures, string↔[]byte conversions, or boxing into
+// interface parameters. Pool-growth and other cold-path allocations are
+// waived line by line with //distlint:alloc-ok; expressions inside panic
+// arguments are exempt wholesale (guard panics are off the steady-state
+// path by definition).
+//
+// The perf suite's testing.AllocsPerRun guards prove specific drivers hit
+// zero allocations; this analyzer keeps every edit to an annotated function
+// honest without running a benchmark.
+var HotPathAlloc = &lintkit.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "report heap-allocating constructs in //distlint:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *lintkit.Pass) error {
+	esc := newEscapeLines(pass, "alloc-ok")
+	for _, fd := range funcDecls(pass) {
+		if !hasDirective(fd.Doc, "hotpath") {
+			continue
+		}
+		checkHotPath(pass, esc, fd.Body)
+	}
+	return nil
+}
+
+// checkHotPath walks one hot function body reporting allocation sites.
+func checkHotPath(pass *lintkit.Pass, esc escapeLines, body *ast.BlockStmt) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if !esc.covers(pass.Fset, pos) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// panic arguments never run on the steady-state path.
+			if isBuiltinCall(pass, n, "panic") {
+				return false
+			}
+			if isBuiltinCall(pass, n, "make") {
+				report(n.Pos(), "make allocates in a hotpath function")
+				return true
+			}
+			if isBuiltinCall(pass, n, "new") {
+				report(n.Pos(), "new allocates in a hotpath function")
+				return true
+			}
+			if isBuiltinCall(pass, n, "append") {
+				report(n.Pos(), "append may grow its backing array in a hotpath function")
+				return true
+			}
+			checkConversion(pass, report, n)
+			checkVariadicBoxing(pass, report, n)
+		case *ast.FuncLit:
+			report(n.Pos(), "closure allocates in a hotpath function")
+			return false
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates in a hotpath function")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates in a hotpath function")
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "pointer to composite literal allocates in a hotpath function")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinCall reports whether call invokes the named predeclared builtin.
+func isBuiltinCall(pass *lintkit.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// checkConversion reports allocating string↔[]byte/[]rune conversions and
+// explicit conversions into interface types (boxing).
+func checkConversion(pass *lintkit.Pass, report func(token.Pos, string, ...any), call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := tv.Type.Underlying()
+	src := pass.TypesInfo.Types[call.Args[0]].Type
+	if src == nil {
+		return
+	}
+	srcU := src.Underlying()
+	if types.IsInterface(dst) && !types.IsInterface(srcU) {
+		report(call.Pos(), "conversion boxes a concrete value into an interface in a hotpath function")
+		return
+	}
+	_, dstSlice := dst.(*types.Slice)
+	_, srcSlice := srcU.(*types.Slice)
+	dstStr := isString(dst)
+	srcStr := isString(srcU)
+	if (dstStr && srcSlice) || (dstSlice && srcStr) {
+		report(call.Pos(), "string/slice conversion allocates in a hotpath function")
+	}
+}
+
+// checkVariadicBoxing reports calls that spread arguments into a variadic
+// interface parameter (fmt-style boxing).
+func checkVariadicBoxing(pass *lintkit.Pass, report func(token.Pos, string, ...any), call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	slice, ok := last.Type().(*types.Slice)
+	if !ok || !types.IsInterface(slice.Elem()) {
+		return
+	}
+	if len(call.Args) >= sig.Params().Len() {
+		report(call.Pos(), "arguments box into a variadic interface parameter in a hotpath function")
+	}
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

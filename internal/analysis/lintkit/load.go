@@ -1,0 +1,228 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// pkgMeta is the slice of `go list -json` output the loader consumes.
+type pkgMeta struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+	DepOnly    bool
+}
+
+// Loader resolves and type-checks packages. All packages loaded through one
+// Loader share a FileSet, so diagnostics across packages sort coherently.
+// Dependency types come from the build cache's export data (`go list
+// -export`), so only the packages under analysis are type-checked from
+// source; run `go build ./...` first if the cache may be cold (the Makefile
+// lint target does).
+type Loader struct {
+	// Dir is the working directory for `go list`, normally the module
+	// root. Empty means the current directory.
+	Dir string
+
+	Fset  *token.FileSet
+	metas map[string]*pkgMeta
+	typed map[string]*types.Package
+	imp   types.Importer
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{
+		Dir:   dir,
+		Fset:  token.NewFileSet(),
+		metas: map[string]*pkgMeta{},
+		typed: map[string]*types.Package{},
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l
+}
+
+// lookup serves export data for the gc importer from the metadata the
+// loader has listed.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	m, ok := l.metas[path]
+	if !ok || m.Export == "" {
+		return nil, fmt.Errorf("lintkit: no export data for %q", path)
+	}
+	return os.Open(m.Export)
+}
+
+// list runs `go list -e -export -deps -json` on the patterns and folds the
+// results into the loader's metadata, returning the non-dependency roots in
+// listing order.
+func (l *Loader) list(patterns []string) ([]*pkgMeta, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Error,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var roots []*pkgMeta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m pkgMeta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintkit: decoding go list output: %v", err)
+		}
+		mm := m
+		l.metas[m.ImportPath] = &mm
+		if !m.DepOnly {
+			roots = append(roots, &mm)
+		}
+	}
+	return roots, nil
+}
+
+// Load lists the patterns (go list syntax; testdata directories are skipped
+// by go list itself) and type-checks every matched non-stdlib package from
+// source. Dependencies are imported from export data, never re-checked.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	roots, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, m := range roots {
+		if m.Standard {
+			continue
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("lintkit: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		pkg, err := l.check(m)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package from source.
+func (l *Loader) check(m *pkgMeta) (*Package, error) {
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lintkit: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(m.ImportPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: type-checking %s: %v", m.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: m.ImportPath,
+		Dir:        m.Dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// LoadDir type-checks the .go files of one directory as a standalone
+// package outside the module's package graph — the fixture loader. Imports
+// resolve through `go list` run from the loader's Dir, so fixtures may
+// import the standard library (and module packages, when Dir is inside the
+// module).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lintkit: no .go files in %s", dir)
+	}
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lintkit: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "unsafe" {
+				imports[path] = true
+			}
+		}
+	}
+	if len(imports) > 0 {
+		var paths []string
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		if _, err := l.list(paths); err != nil {
+			return nil, err
+		}
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: l.imp}
+	path := files[0].Name.Name
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: type-checking %s: %v", dir, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

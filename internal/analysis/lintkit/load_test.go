@@ -1,0 +1,90 @@
+package lintkit
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// TestLoadModulePackage type-checks a real module package against the build
+// cache's export data — the load path the distlint driver uses.
+func TestLoadModulePackage(t *testing.T) {
+	l := NewLoader("")
+	pkgs, err := l.Load("repro/internal/sketch")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "repro/internal/sketch" {
+		t.Fatalf("ImportPath = %q", pkg.ImportPath)
+	}
+	if pkg.Types.Scope().Lookup("FD") == nil {
+		t.Fatalf("type-checked package is missing sketch.FD")
+	}
+	// Selections must resolve so mutexguard can map field accesses, and
+	// Uses must reach through export data into dependencies.
+	if len(pkg.Info.Uses) == 0 || len(pkg.Info.Defs) == 0 {
+		t.Fatalf("types.Info not populated: %d uses, %d defs", len(pkg.Info.Uses), len(pkg.Info.Defs))
+	}
+	crossPkg := false
+	for _, obj := range pkg.Info.Uses {
+		if obj.Pkg() != nil && obj.Pkg().Path() != pkg.ImportPath {
+			crossPkg = true
+			break
+		}
+	}
+	if !crossPkg {
+		t.Fatalf("no cross-package uses resolved; export-data importer is not wired")
+	}
+}
+
+// TestLoadReportsBrokenPatterns pins that load errors surface instead of
+// silently analyzing nothing.
+func TestLoadReportsBrokenPatterns(t *testing.T) {
+	l := NewLoader("")
+	if _, err := l.Load("repro/internal/does-not-exist"); err == nil {
+		t.Fatalf("Load of a nonexistent package succeeded")
+	}
+}
+
+// TestRunSortsDiagnostics pins the driver-facing output ordering contract.
+func TestRunSortsDiagnostics(t *testing.T) {
+	l := NewLoader("")
+	pkgs, err := l.Load("repro/internal/sketch")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	reportAll := &Analyzer{
+		Name: "reportall",
+		Doc:  "test analyzer reporting every function declaration",
+		Run: func(p *Pass) error {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						p.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	diags, err := Run(pkgs, []*Analyzer{reportAll})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) < 2 {
+		t.Fatalf("expected several diagnostics, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := pkgs[0].Fset.Position(diags[i-1].Pos), pkgs[0].Fset.Position(diags[i].Pos)
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Fatalf("diagnostics out of order: %v before %v", a, b)
+		}
+		if !strings.HasPrefix(diags[i].Message, "func ") {
+			t.Fatalf("unexpected message %q", diags[i].Message)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// SnapshotPurity enforces the deep-copy contract on the checkpoint surface:
+// Snapshot* constructors and Restore* functions must not alias slices, maps,
+// or pointers between the live state and the snapshot — the class of bug
+// that silently breaks bit-exact checkpoint restore (a later in-place
+// mutation of the live tracker would rewrite a "captured" snapshot, or a
+// restored tracker would share storage with the decoded snapshot a caller
+// still holds).
+//
+// The check is a conservative aliasing scan: inside any function whose name
+// starts with Snapshot or Restore, storing an expression that (a) is rooted
+// at a parameter or the receiver, (b) reaches the store through only
+// selections, indexing, and slicing (no call — calls are presumed to copy),
+// and (c) has slice, map, or pointer type, is reported. Copy idioms —
+// append(nil, src...), make+copy, RawData()-style accessors — all route
+// through calls and pass. Intentional shallow stores (e.g. adopting a
+// freshly built local) are waived line by line with //distlint:alias-ok.
+var SnapshotPurity = &lintkit.Analyzer{
+	Name: "snapshotpurity",
+	Doc:  "report snapshot constructors and restorers that alias caller/receiver storage",
+	Run:  runSnapshotPurity,
+}
+
+func runSnapshotPurity(pass *lintkit.Pass) error {
+	esc := newEscapeLines(pass, "alias-ok")
+	for _, fd := range funcDecls(pass) {
+		name := fd.Name.Name
+		if !strings.HasPrefix(name, "Snapshot") && !strings.HasPrefix(name, "Restore") &&
+			!strings.HasPrefix(name, "snapshot") && !strings.HasPrefix(name, "restore") {
+			continue
+		}
+		roots := collectRoots(pass, fd)
+		if len(roots) == 0 {
+			continue
+		}
+		checkAliasing(pass, esc, fd, roots)
+	}
+	return nil
+}
+
+// collectRoots gathers the objects whose storage must not leak: the
+// receiver and every parameter.
+func collectRoots(pass *lintkit.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	roots := map[types.Object]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					roots[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	return roots
+}
+
+// checkAliasing reports stores of root-aliasing expressions.
+func checkAliasing(pass *lintkit.Pass, esc escapeLines, fd *ast.FuncDecl, roots map[types.Object]bool) {
+	report := func(e ast.Expr, how string) {
+		if esc.covers(pass.Fset, e.Pos()) {
+			return
+		}
+		pass.Reportf(e.Pos(), "%s %s aliases %s storage; deep-copy it (snapshots must not share memory with live state)",
+			how, types.ExprString(e), rootName(fd))
+	}
+	check := func(e ast.Expr, how string) {
+		if e == nil {
+			return
+		}
+		if !aliasKind(pass.TypesInfo.Types[e].Type) {
+			return
+		}
+		if rootedAlias(pass, roots, e) {
+			report(e, how)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				// Only stores into structured state matter: plain local
+				// bindings of a root expression are reads until stored.
+				switch n.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					check(rhs, "assignment of")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					check(kv.Value, "composite literal field")
+				} else {
+					check(el, "composite literal element")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// aliasKind reports whether values of t share underlying storage when
+// shallow-copied: slices, maps, and pointers.
+func aliasKind(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// rootedAlias reports whether e reaches a root object through selections,
+// indexing, slicing, and parens only — i.e. the value aliases the root's
+// storage with no intervening copy.
+func rootedAlias(pass *lintkit.Pass, roots map[types.Object]bool, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return roots[pass.TypesInfo.Uses[x]]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// rootName names the aliased side for the diagnostic.
+func rootName(fd *ast.FuncDecl) string {
+	if strings.HasPrefix(strings.ToLower(fd.Name.Name), "restore") {
+		return "the snapshot's"
+	}
+	return "live"
+}

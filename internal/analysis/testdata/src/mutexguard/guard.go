@@ -1,0 +1,113 @@
+// Package mutexguard fixtures: positive and negative cases for the
+// mutexguard analyzer.
+package mutexguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//distlint:guarded-by mu
+	n int
+
+	unguarded int
+}
+
+type stats struct {
+	rw sync.RWMutex
+	//distlint:guarded-by rw
+	hits int
+}
+
+func (c *counter) good() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// deferred is the defer-unlock idiom: the lock is held to function exit.
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) bad() int {
+	return c.n // want `guarded by c.mu but accessed without it held`
+}
+
+func (c *counter) free() int {
+	return c.unguarded
+}
+
+// earlyReturn is the lock–check–unlock-early-return idiom: the terminated
+// branch must not leak its lock state past the if.
+func (c *counter) earlyReturn() int {
+	c.mu.Lock()
+	if c.n > 0 {
+		v := c.n
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func (c *counter) unlockThenUse() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.n++ // want `guarded by c.mu but accessed without it held`
+}
+
+// branchMayUnlock: one arm releases, so after the join the lock cannot be
+// assumed held.
+func (c *counter) branchMayUnlock(drop bool) {
+	c.mu.Lock()
+	if drop {
+		c.mu.Unlock()
+	}
+	c.n++ // want `guarded by c.mu but accessed without it held`
+	if !drop {
+		c.mu.Unlock()
+	}
+}
+
+// bump documents that its caller holds the lock.
+//
+//distlint:caller-holds mu
+func (c *counter) bump() {
+	c.n++
+}
+
+// addLocked follows the *Locked naming convention: assumed held.
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+// spawned goroutines hold nothing, whatever the spawner holds.
+func (c *counter) goroutine() {
+	c.mu.Lock()
+	go func() {
+		c.n++ // want `guarded by c.mu but accessed without it held`
+	}()
+	c.n++
+	c.mu.Unlock()
+}
+
+// wrongReceiver: holding c's lock says nothing about other's fields.
+func (c *counter) wrongReceiver(other *counter) {
+	c.mu.Lock()
+	other.n++ // want `guarded by other.mu but accessed without it held`
+	c.mu.Unlock()
+}
+
+// readLock: RLock counts as holding for reads (the analyzer does not
+// distinguish read and write accesses; the write path is vetted by race).
+func (s *stats) readLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.hits
+}
+
+func (s *stats) badHits() int {
+	return s.hits // want `guarded by s.rw but accessed without it held`
+}

@@ -1,0 +1,73 @@
+// Package snapshotpurity fixtures: positive and negative cases for the
+// snapshotpurity analyzer.
+package snapshotpurity
+
+type state struct {
+	vals []float64
+	meta map[string]int
+	next *state
+}
+
+type snap struct {
+	vals []float64
+	meta map[string]int
+	link *state
+}
+
+// Snapshot aliases live storage three ways.
+func (s *state) Snapshot() *snap {
+	out := &snap{
+		vals: s.vals, // want `aliases live storage`
+	}
+	out.meta = s.meta // want `aliases live storage`
+	out.link = s.next // want `aliases live storage`
+	return out
+}
+
+// SnapshotCopy is the deep-copy idiom: everything routes through calls or
+// fresh allocations, so nothing is reported.
+func (s *state) SnapshotCopy() *snap {
+	vals := make([]float64, len(s.vals))
+	copy(vals, s.vals)
+	meta := make(map[string]int, len(s.meta))
+	for k, v := range s.meta {
+		meta[k] = v
+	}
+	return &snap{vals: vals, meta: meta}
+}
+
+// SnapshotValues: scalar loads from the receiver are reads, not aliases.
+func (s *state) SnapshotValues() (int, float64) {
+	n := len(s.vals)
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return n, sum
+}
+
+// Restore aliases the decoded snapshot the caller still holds.
+func (s *state) Restore(sn *snap) {
+	s.vals = sn.vals // want `aliases the snapshot's storage`
+	s.meta = sn.meta // want `aliases the snapshot's storage`
+}
+
+// RestoreCopy reuses live capacity and copies element-wise: clean.
+func (s *state) RestoreCopy(sn *snap) {
+	s.vals = append(s.vals[:0], sn.vals...)
+	s.meta = make(map[string]int, len(sn.meta))
+	for k, v := range sn.meta {
+		s.meta[k] = v
+	}
+}
+
+// RestoreShared documents an intentional shallow adoption with the hatch.
+func (s *state) RestoreShared(sn *snap) {
+	s.vals = sn.vals //distlint:alias-ok caller transfers ownership of the decoded buffer
+}
+
+// unrelatedStore is not a Snapshot*/Restore* function: aliasing is the
+// normal state of affairs elsewhere.
+func (s *state) unrelatedStore(o *state) {
+	s.vals = o.vals
+}

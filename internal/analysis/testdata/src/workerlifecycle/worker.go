@@ -1,0 +1,76 @@
+// Package workerlifecycle fixtures: positive and negative cases for the
+// workerlifecycle analyzer.
+package workerlifecycle
+
+// pool is the sharded-ingest shape: per-worker queues, shut down by closing
+// every queue.
+type pool struct {
+	queues []chan int
+	done   chan struct{}
+}
+
+func (p *pool) startRanged() {
+	for i := range p.queues {
+		go p.worker(p.queues[i])
+	}
+}
+
+func (p *pool) worker(q chan int) {
+	for range q {
+	}
+}
+
+func (p *pool) Close() {
+	for _, q := range p.queues {
+		close(q)
+	}
+}
+
+// startSelect is the done-channel idiom: a select clause that returns.
+func (p *pool) startSelect() {
+	go func() {
+		for {
+			select {
+			case v := <-p.queues[0]:
+				_ = v
+			case <-p.done:
+				return
+			}
+		}
+	}()
+}
+
+// startCompute launches a goroutine with no channel receives at all: out of
+// scope for the lifecycle check.
+func (p *pool) startCompute(out *int) {
+	go func() {
+		*out = 42
+	}()
+}
+
+// leaky ranges a channel nothing ever closes.
+type leaky struct {
+	in chan int
+}
+
+func (l *leaky) start() {
+	go l.run() // want `no reachable shutdown path`
+}
+
+func (l *leaky) run() {
+	for range l.in {
+	}
+}
+
+func (l *leaky) startLit() {
+	go func() { // want `no reachable shutdown path`
+		for v := range l.in {
+			_ = v
+		}
+	}()
+}
+
+// startWaived hands lifecycle responsibility elsewhere explicitly.
+func (l *leaky) startWaived() {
+	go l.run() //distlint:lifecycle-ok drained and abandoned at process exit in tests
+}

@@ -94,6 +94,8 @@ func (p *P1) Dim() int { return p.d }
 func (p *P1) Eps() float64 { return p.eps }
 
 // ProcessRow implements Tracker (Algorithm 5.1).
+//
+//distlint:hotpath
 func (p *P1) ProcessRow(site int, row []float64) {
 	validateSite(site, p.m)
 	validateRow(row, p.d)
@@ -112,6 +114,8 @@ func (p *P1) ProcessRow(site int, row []float64) {
 // a ship, so scanning the prefix sums up to the first crossing reproduces
 // the per-row trigger points exactly: identical ships, identical message
 // tallies, identical sketch state.
+//
+//distlint:hotpath
 func (p *P1) ProcessRows(site int, rows [][]float64) {
 	validateSite(site, p.m)
 	validateRows(rows, p.d)
@@ -137,6 +141,8 @@ func (p *P1) ProcessRows(site int, rows [][]float64) {
 }
 
 // ship sends the site's sketch to the coordinator (Algorithm 5.2).
+//
+//distlint:hotpath
 func (p *P1) ship(site int) {
 	s := &p.sites[site]
 	// Message volume: the sketch rows, with the scalar F_i piggybacked on

@@ -134,6 +134,8 @@ func (p *P2) ProcessRow(site int, row []float64) {
 // state machine minus the per-call validation: every threshold check runs
 // at its exact row index and the message tallies match row-at-a-time
 // ingestion bit for bit. In fast mode the block folds through processBlock.
+//
+//distlint:hotpath
 func (p *P2) ProcessRows(site int, rows [][]float64) {
 	validateSite(site, p.m)
 	validateRows(rows, p.d)
@@ -153,6 +155,8 @@ func (p *P2) ProcessRows(site int, rows [][]float64) {
 // one rank-k block update and the deferred-svd bound λ₁ + newMass is
 // settled once over the whole block — one decomposition per crossing block
 // instead of one per crossing row.
+//
+//distlint:hotpath
 func (p *P2) processBlock(s *p2site, rows [][]float64) {
 	if len(rows) == 0 {
 		return
@@ -178,7 +182,7 @@ func (p *P2) processBlock(s *p2site, rows [][]float64) {
 	s.gram.AddBlock(rows, p.pack)
 	s.lamBound += mass
 	if s.empty && len(rows) == 1 {
-		s.soleRow = append(s.soleRow[:0], rows[0]...)
+		s.soleRow = append(s.soleRow[:0], rows[0]...) //distlint:alloc-ok grows to one row length once, then reused
 	} else {
 		s.soleRow = nil
 	}
@@ -200,6 +204,8 @@ func (p *P2) processBlock(s *p2site, rows [][]float64) {
 }
 
 // processRow is the validated per-row step of Algorithm 5.3.
+//
+//distlint:hotpath
 func (p *P2) processRow(s *p2site, row []float64) {
 	w := matrix.NormSq(row)
 
@@ -215,7 +221,7 @@ func (p *P2) processRow(s *p2site, row []float64) {
 	s.gram.AddOuter(1, row)
 	s.lamBound += w
 	if s.empty {
-		s.soleRow = append(s.soleRow[:0], row...)
+		s.soleRow = append(s.soleRow[:0], row...) //distlint:alloc-ok grows to one row length once, then reused
 		s.empty = false
 	} else {
 		s.soleRow = nil

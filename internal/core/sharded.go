@@ -62,7 +62,7 @@ type ShardedTracker struct {
 	// unapplied and the panic re-raises on the next flush, so a failed
 	// worker never deadlocks the caller.
 	failMu  sync.Mutex
-	failure any
+	failure any //distlint:guarded-by failMu
 }
 
 // shardChunkRows bounds the rows per dealt block: larger incoming blocks are
@@ -280,6 +280,8 @@ func (st *ShardedTracker) validate(site int, row []float64) {
 
 // deal copies one chunk into a pooled buffer and enqueues it on the next
 // shard's queue (round-robin).
+//
+//distlint:hotpath
 func (st *ShardedTracker) deal(site int, rows [][]float64) {
 	if st.closed {
 		panic("core: sharded tracker is closed")
@@ -296,19 +298,21 @@ func (st *ShardedTracker) deal(site int, rows [][]float64) {
 
 // copyRows stages rows into a pooled block buffer, so the caller regains
 // ownership of its slices as soon as ProcessRows returns.
+//
+//distlint:hotpath
 func (st *ShardedTracker) copyRows(rows [][]float64) *blockBuf {
 	var buf *blockBuf
 	select {
 	case buf = <-st.free:
 	default:
-		buf = &blockBuf{}
+		buf = &blockBuf{} //distlint:alloc-ok pool miss: grows the pool
 	}
 	need := len(rows) * st.d
 	if cap(buf.flat) < need {
-		buf.flat = make([]float64, need)
+		buf.flat = make([]float64, need) //distlint:alloc-ok pool growth to the new high-water block size
 	}
 	if cap(buf.rows) < len(rows) {
-		buf.rows = make([][]float64, len(rows))
+		buf.rows = make([][]float64, len(rows)) //distlint:alloc-ok pool growth to the new high-water block size
 	}
 	flat := buf.flat[:need]
 	hdr := buf.rows[:len(rows)]

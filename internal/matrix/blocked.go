@@ -19,6 +19,8 @@ import "fmt"
 // NormSqRows computes the squared Euclidean norm of every row into dst,
 // reusing dst's backing array when it is large enough, and returns the
 // resulting slice. The per-row values are bit-identical to NormSq.
+//
+//distlint:hotpath
 func NormSqRows(rows [][]float64, dst []float64) []float64 {
 	dst = growFloats(dst, len(rows))
 	for i, row := range rows {
@@ -39,6 +41,8 @@ const addBlockCutoff = 4
 //
 // Entries are accumulated block-at-a-time (see the package comment on
 // reassociation); the result is made exactly symmetric.
+//
+//distlint:hotpath
 func (s *Sym) AddBlock(rows [][]float64, scratch *Dense) {
 	n := len(rows)
 	d := s.n
@@ -69,6 +73,8 @@ func (s *Sym) AddBlock(rows [][]float64, scratch *Dense) {
 
 // AddDenseBlock is AddBlock for a Dense row block (rows lo ≤ i < hi come
 // from callers slicing with RowsView). b must have Dim columns.
+//
+//distlint:hotpath
 func (s *Sym) AddDenseBlock(b *Dense, scratch *Dense) {
 	if b.cols != s.n {
 		panic(fmt.Sprintf("matrix: %d-column block into %d×%d", b.cols, s.n, s.n))
@@ -96,6 +102,8 @@ func (s *Sym) AddDenseBlock(b *Dense, scratch *Dense) {
 // addPackedColumns adds BᵀB to s given the column-major packing of B
 // (packed row j = column j of B): the upper triangle is computed with
 // contiguous unrolled dots and mirrored onto the lower.
+//
+//distlint:hotpath
 func (s *Sym) addPackedColumns(packed *Dense) {
 	d, n := packed.rows, packed.cols
 	for j := 0; j < d; j++ {
@@ -117,6 +125,8 @@ func (s *Sym) addPackedColumns(packed *Dense) {
 // dotUnrolled is Dot for equal-length slices with four independent
 // accumulators, trading the sequential rounding order for instruction-level
 // parallelism in the blocked kernels' inner loop.
+//
+//distlint:hotpath
 func dotUnrolled(a, b []float64) float64 {
 	var s0, s1, s2, s3 float64
 	i := 0
@@ -146,6 +156,8 @@ func (m *Dense) RowsView(lo, hi int) *Dense {
 // ReconstructIntoWork is ReconstructInto with caller-provided column
 // scratch (length ≥ v.rows), so the per-block factorization loops rebuild
 // their Gram without allocating.
+//
+//distlint:hotpath
 func ReconstructIntoWork(dst *Sym, v *Dense, vals, col []float64) {
 	if len(vals) > v.cols {
 		panic(fmt.Sprintf("matrix: %d eigenvalues for %d eigenvectors", len(vals), v.cols))

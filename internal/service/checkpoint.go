@@ -172,6 +172,11 @@ func writeFileAtomic(path string, env envelope) error {
 // restoreAll loads every checkpoint in the data directory into fresh
 // trackers. A file that fails to restore is an error: silently dropping
 // state would break the continuous guarantee the checkpoints exist for.
+//
+// Open calls restoreAll during construction, before the manager is shared
+// with any other goroutine, so the registry writes below need no lock.
+//
+//distlint:caller-holds mu
 func (m *Manager) restoreAll() error {
 	entries, err := os.ReadDir(m.opts.DataDir)
 	if err != nil {

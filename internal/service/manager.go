@@ -59,8 +59,8 @@ type Manager struct {
 	start time.Time
 
 	mu       sync.RWMutex
-	trackers map[string]*Tracker
-	closed   bool
+	trackers map[string]*Tracker //distlint:guarded-by mu
+	closed   bool                //distlint:guarded-by mu
 
 	stopCkpt chan struct{}
 	ckptWG   sync.WaitGroup

@@ -33,8 +33,9 @@ type Tracker struct {
 
 	// mu guards sess and dirty. Ingestion applies batches under mu from
 	// the shard workers; queries take it only for the snapshot.
-	mu    sync.Mutex
-	sess  *distmat.Session
+	mu   sync.Mutex
+	sess *distmat.Session //distlint:guarded-by mu
+	//distlint:guarded-by mu
 	dirty bool // mutated since the last (attempted) checkpoint
 
 	queues     []chan ingestReq

@@ -112,6 +112,8 @@ func (f *FD) Block() int { return f.bufCap }
 func (f *FD) Exact() bool { return f.exact }
 
 // Append processes one row of the stream.
+//
+//distlint:hotpath
 func (f *FD) Append(row []float64) {
 	if len(row) != f.d {
 		panic(fmt.Sprintf("sketch: FD append row of length %d, want %d", len(row), f.d))
@@ -134,6 +136,8 @@ func (f *FD) Append(row []float64) {
 // but the batch loop skips the per-row call and validation overhead.
 // Unlike Append, the whole batch is validated up front: a bad row panics
 // before any row of the batch is ingested.
+//
+//distlint:hotpath
 func (f *FD) AppendRows(rows [][]float64) {
 	for i, row := range rows {
 		if len(row) != f.d {
@@ -169,6 +173,8 @@ func (f *FD) AppendRows(rows [][]float64) {
 // most ℓ retained directions if the combined rank exceeds ℓ. The Gram
 // accumulator and eigendecomposition scratch are per-sketch and reused, so
 // steady-state compression allocates nothing.
+//
+//distlint:hotpath
 func (f *FD) compress() {
 	if f.exact || f.buf.Rows() == 0 {
 		return
@@ -187,9 +193,11 @@ func (f *FD) compress() {
 
 // colScratch returns the reusable length-d staging buffer for eigenvector
 // columns.
+//
+//distlint:hotpath
 func (f *FD) colScratch() []float64 {
 	if f.col == nil {
-		f.col = make([]float64, f.d)
+		f.col = make([]float64, f.d) //distlint:alloc-ok one-time lazy init, reused ever after
 	}
 	return f.col
 }
@@ -199,6 +207,8 @@ func (f *FD) colScratch() []float64 {
 // per-sketch scratch: the allocation- and factorization-free merge the fast
 // protocol paths use in place of Gram() + AddSym. w = −1 subtracts, which
 // the P2 small-space variant uses for its implicit sketch difference.
+//
+//distlint:hotpath
 func (f *FD) AccumulateGram(dst *matrix.Sym, w float64) {
 	if f.exact {
 		dst.AddScaledSym(w, f.gram)

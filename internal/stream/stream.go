@@ -65,8 +65,9 @@ func CheckSites(m int) error {
 // with ingestion — an observability endpoint can scrape a live tracker
 // without pausing its feeders.
 type Accountant struct {
-	m     int
-	mu    sync.Mutex
+	m  int
+	mu sync.Mutex
+	//distlint:guarded-by mu
 	stats Stats
 }
 
@@ -97,6 +98,8 @@ func (a *Accountant) Sites() int { return a.m }
 
 // SendUp records one site→coordinator message carrying units of payload
 // (1 per scalar, 1 per length-d row).
+//
+//distlint:hotpath
 func (a *Accountant) SendUp(units int) {
 	a.mu.Lock()
 	a.stats.UpMsgs++
@@ -106,6 +109,8 @@ func (a *Accountant) SendUp(units int) {
 
 // SendUpN records n messages of unitEach payload each (e.g. a summary of n
 // counters sent as n scalar messages).
+//
+//distlint:hotpath
 func (a *Accountant) SendUpN(n, unitEach int) {
 	a.mu.Lock()
 	a.stats.UpMsgs += int64(n)
@@ -115,6 +120,8 @@ func (a *Accountant) SendUpN(n, unitEach int) {
 
 // Broadcast records one coordinator→all-sites broadcast carrying units of
 // payload per site. It counts as m down-messages per the paper's metric.
+//
+//distlint:hotpath
 func (a *Accountant) Broadcast(units int) {
 	a.mu.Lock()
 	a.stats.Broadcasts++
@@ -125,6 +132,8 @@ func (a *Accountant) Broadcast(units int) {
 
 // SendDown records one coordinator→single-site message (rare; most
 // coordinator traffic is broadcast).
+//
+//distlint:hotpath
 func (a *Accountant) SendDown(units int) {
 	a.mu.Lock()
 	a.stats.DownMsgs++

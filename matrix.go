@@ -39,9 +39,11 @@ func NewWindowedTracker(window int, build func() MatrixTracker) *WindowedTracker
 func RunMatrix(t MatrixTracker, rows [][]float64, asg Assigner) *Sym {
 	s, err := WrapMatrixSession(t, WithAssigner(asg), WithExactTracking())
 	if err != nil {
+		//distlint:panic-ok pre-session convenience contract: misuse is a programmer error
 		panic(err)
 	}
 	if err := s.ProcessRows(rows); err != nil {
+		//distlint:panic-ok pre-session convenience contract: misuse is a programmer error
 		panic(err)
 	}
 	return s.Exact()
@@ -88,6 +90,7 @@ func NewFrequentDirectionsBuffered(ell, d, block int) *FrequentDirections {
 func mustMatrix(name string, cfg Config) MatrixTracker {
 	t, err := NewMatrixByName(name, cfg)
 	if err != nil {
+		//distlint:panic-ok implements the deprecated constructors' documented panic contract
 		panic(err)
 	}
 	return t

@@ -62,7 +62,9 @@ type Session struct {
 	count int64
 	draws int64 // assigner draws so far (ProcessRowAt/ProcessItemAt skip the assigner)
 
-	siteBuf []int // pooled per-batch site assignments (ProcessRows scratch)
+	siteBuf  []int       // pooled per-batch site assignments (ProcessRows scratch)
+	runBuf   [][]float64 // pooled same-site run staging (sharded batch coalescing)
+	siteSeen []bool      // pooled per-site visited marks (sharded batch coalescing)
 }
 
 // adoptAssigner reconciles cfg.Sites with an explicit assigner before any
@@ -113,6 +115,7 @@ func NewMatrixSession(proto string, opts ...Option) (*Session, error) {
 			t, err := NewMatrixByName(inner, cfg)
 			if err != nil {
 				// cfg was validated by the first NewMatrixByName call.
+				//distlint:panic-ok unreachable: cfg already validated above
 				panic(err)
 			}
 			return t
@@ -387,6 +390,10 @@ func (s *Session) ProcessRows(rows [][]float64) error {
 		sites[i] = s.asg.Next()
 	}
 	s.draws += int64(n)
+	if s.Shards() > 1 {
+		s.ingestCoalesced(rows[:n], sites)
+		return dimErr
+	}
 	for start := 0; start < n; {
 		end := start + 1
 		for end < n && sites[end] == sites[start] {
@@ -396,6 +403,51 @@ func (s *Session) ProcessRows(rows [][]float64) error {
 		start = end
 	}
 	return dimErr
+}
+
+// ingestCoalesced regroups an assigner-dealt batch into one run per site —
+// sites ordered by first appearance, rows in stream order within each
+// site — and hands every run to the tracker as a single block. Only
+// sharded sessions take this path: their workers consume whole blocks, so
+// the ~length-1 runs a per-row assigner (round-robin, uniform) produces
+// would degrade the shard pipeline to single-row blocks and forfeit the
+// blocked fast path. Unsharded sessions keep consecutive-run splitting,
+// which stays bit-identical to per-row ingestion; a sharded session's
+// state already depends on block boundaries (see ProcessRows), and any
+// grouping satisfies the same covariance guarantee.
+//
+//distlint:hotpath
+func (s *Session) ingestCoalesced(rows [][]float64, sites []int) {
+	n := len(rows)
+	if cap(s.runBuf) < n {
+		s.runBuf = make([][]float64, n) //distlint:alloc-ok pool growth to the new high-water batch size
+	}
+	if len(s.siteSeen) < s.cfg.Sites {
+		s.siteSeen = make([]bool, s.cfg.Sites) //distlint:alloc-ok sized once by the fixed site count
+	}
+	maxRun := 0
+	for start := 0; start < n; start++ {
+		site := sites[start]
+		if s.siteSeen[site] {
+			continue
+		}
+		s.siteSeen[site] = true
+		run := s.runBuf[:0]
+		for j := start; j < n; j++ {
+			if sites[j] == site {
+				run = append(run, rows[j]) //distlint:alloc-ok cap(runBuf) ≥ n: never grows
+			}
+		}
+		if len(run) > maxRun {
+			maxRun = len(run)
+		}
+		s.ingestRows(site, run)
+	}
+	for _, site := range sites {
+		s.siteSeen[site] = false
+	}
+	// Drop the borrowed row headers so the pool does not pin caller slices.
+	clear(s.runBuf[:maxRun])
 }
 
 // ProcessRowsAt ingests a batch of matrix rows at an explicit site as one

@@ -257,3 +257,73 @@ func TestWindowedFastIngestPlumbing(t *testing.T) {
 		t.Errorf("windowed+fast session covers %d rows, manual covers %d", got, want)
 	}
 }
+
+// TestShardedSessionCoalescesRuns: an assigner-dealt batch on a sharded
+// session regroups into one run per site before dealing, so shard workers
+// see whole blocks instead of the ~length-1 runs a round-robin assigner
+// yields. With 2 sites, 4 shards, and 64 rows, coalescing produces exactly
+// two 32-row runs, dealt round-robin to the first two shards — shards 2
+// and 3 receive nothing. Without coalescing, 64 single-row runs would
+// spread 16 rows onto every shard.
+func TestShardedSessionCoalescesRuns(t *testing.T) {
+	const sites, shards, n = 2, 4, 64
+	rows := distmat.LowRankMatrix(distmat.PAMAPLike(n))
+	sess, err := distmat.NewMatrixSession("p2",
+		distmat.WithSites(sites), distmat.WithEpsilon(0.2), distmat.WithDim(44),
+		distmat.WithSeed(1), distmat.WithFastIngest(), distmat.WithShards(shards),
+		distmat.WithAssigner(distmat.NewRoundRobin(sites)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.ProcessRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	got := sess.ShardRows()
+	want := []int64{32, 32, 0, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ShardRows after a coalesced 64-row batch = %v, want %v (one whole run per site)", got, want)
+	}
+	// The regrouped feed must still answer queries: the covariance
+	// guarantee is per-shard additive and independent of run lengths.
+	if g := sess.Gram(); g == nil {
+		t.Error("Gram() = nil after coalesced ingest")
+	}
+}
+
+// TestUnshardedBatchKeepsPerRowIdentity: coalescing must NOT touch
+// unsharded sessions, whose batch path is documented (and tested) to be
+// bit-identical to per-row ingestion — run splitting there stays
+// consecutive so the tracker sees the same site sequence.
+func TestUnshardedBatchKeepsPerRowIdentity(t *testing.T) {
+	const sites = 3
+	rows := distmat.LowRankMatrix(distmat.PAMAPLike(120))
+	build := func() *distmat.Session {
+		sess, err := distmat.NewMatrixSession("p2",
+			distmat.WithSites(sites), distmat.WithEpsilon(0.2), distmat.WithDim(44),
+			distmat.WithSeed(3), distmat.WithFastIngest(),
+			distmat.WithAssigner(distmat.NewRoundRobin(sites)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+	batch, perRow := build(), build()
+	defer batch.Close()
+	defer perRow.Close()
+	if err := batch.ProcessRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if err := perRow.ProcessRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := batch.Snapshot(), perRow.Snapshot()
+	if !reflect.DeepEqual(a.Gram.RawData(), b.Gram.RawData()) {
+		t.Error("unsharded batch ingest diverged from per-row ingest")
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("unsharded batch tallies diverged: %v vs %v", a.Stats, b.Stats)
+	}
+}

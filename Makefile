@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-compare perf-guard experiments fmt vet lint lint-findings
+.PHONY: build test race bench bench-compare perf-guard experiments fmt vet lint lint-findings e2e
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,13 @@ bench-compare:
 # this target.
 perf-guard:
 	$(GO) test -run 'TestFastIngestSpeedupGuard|TestBatchDispatchNeverSlower|TestFastSiteHotPathAllocs|TestFastSiteSteadyStateAllocs|TestBlockedFDSpeedupGuard|TestShardedSpeedupGuard' -v -count=1 ./internal/core ./internal/node ./internal/sketch
+
+# Multi-node end-to-end smoke: distsite streams into distserve over the
+# wire protocol on loopback, the coordinator is kill -9'd and restarted
+# mid-stream, and the final query must match the site's oracle replay bit
+# for bit. CI runs exactly this target.
+e2e:
+	scripts/e2e_smoke.sh
 
 # Full figure/table regeneration (minutes).
 experiments:

@@ -4,8 +4,10 @@
 //
 // Entries are aligned by (problem, protocol); for each shared entry it
 // prints old and new rows/sec with the speedup ratio, and old and new
-// messages-per-update side by side. Entries present in only one document
-// are listed as added/removed. With -fail-over set, the exit status is
+// messages-per-update side by side. Wire-transport entries additionally
+// carry net_msgs/net_bytes columns (frames and bytes across the loopback
+// wire listener), rendered per update. Entries present in only one
+// document are listed as added/removed. With -fail-over set, the exit status is
 // non-zero when any shared entry's rows/sec regresses by more than PCT
 // percent — the guard `make bench-compare` offers CI and local runs.
 package main
@@ -48,7 +50,7 @@ func main() {
 	regressed := false
 	for _, p := range pairs {
 		if !p.HasOld {
-			fmt.Printf("%-28s %14s %14.0f %8s   %.4f (added)\n", p.Key, "—", p.New.RowsPerSec, "—", p.New.MessagesPerUpdate)
+			fmt.Printf("%-28s %14s %14.0f %8s   %.4f (added)%s\n", p.Key, "—", p.New.RowsPerSec, "—", p.New.MessagesPerUpdate, netCol(p.New, p.New))
 			continue
 		}
 		ratio := 0.0
@@ -63,8 +65,8 @@ func main() {
 			mark += "  << regression"
 			regressed = true
 		}
-		fmt.Printf("%-28s %14.0f %14.0f %7.2fx   %.4f → %.4f%s\n",
-			p.Key, p.Old.RowsPerSec, p.New.RowsPerSec, ratio, p.Old.MessagesPerUpdate, p.New.MessagesPerUpdate, mark)
+		fmt.Printf("%-28s %14.0f %14.0f %7.2fx   %.4f → %.4f%s%s\n",
+			p.Key, p.Old.RowsPerSec, p.New.RowsPerSec, ratio, p.Old.MessagesPerUpdate, p.New.MessagesPerUpdate, netCol(p.Old, p.New), mark)
 	}
 	// Print each removed entry directly — two removed entries may share a
 	// problem/protocol and differ only in mode/shards.
@@ -95,6 +97,26 @@ func main() {
 	if regressed {
 		fatalf("rows/sec regression beyond %.0f%% detected", *failOver)
 	}
+}
+
+// netCol renders the wire-transport columns for entries that carry them
+// (protocol "-wire" variants): net frames and bytes per update, old→new.
+// Entries without network data — every non-wire entry, and wire entries
+// from artifacts predating the columns — print nothing extra.
+func netCol(old, new experiments.IngestResult) string {
+	if old.NetMsgs == 0 && new.NetMsgs == 0 {
+		return ""
+	}
+	per := func(r experiments.IngestResult) string {
+		if r.NetMsgs == 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.4f msg / %.0f B", r.NetMsgsPerUpdate, r.NetBytesPerUpdate)
+	}
+	if per(old) == per(new) {
+		return "   net " + per(new) + "/upd"
+	}
+	return "   net " + per(old) + " → " + per(new) + "/upd"
 }
 
 func fatalf(format string, args ...any) {

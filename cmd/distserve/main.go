@@ -5,12 +5,20 @@
 // the same -data directory and every persistable tracker resumes where it
 // left off.
 //
+// With -wire the daemon also opens the binary wire listener, the
+// coordinator end of cmd/distsite's block streams: framed row blocks feed
+// the same tracker batch path as HTTP ingestion, with per-site sequence
+// watermarks giving exactly-once application across reconnects and
+// coordinator restarts. /metrics then carries a "wire" section with
+// network messages and bytes per update.
+//
 // Usage:
 //
-//	distserve [-addr :9146] [-data DIR] [-checkpoint 30s]
+//	distserve [-addr :9146] [-wire :9147] [-data DIR] [-checkpoint 30s]
 //	          [-shards N] [-queue N] [-quiet]
 //
-// See the README's "Running distserve" section for a curl walkthrough.
+// See the README's "Running distserve" and "Multi-node deployment"
+// sections for walkthroughs.
 package main
 
 import (
@@ -26,11 +34,13 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":9146", "HTTP listen address")
+		wireA   = flag.String("wire", "", "wire listener address for site block streams (empty disables)")
 		data    = flag.String("data", "distserve-data", "checkpoint directory (empty disables persistence)")
 		ckpt    = flag.Duration("checkpoint", 30*time.Second, "periodic checkpoint interval (0 disables)")
 		shards  = flag.Int("shards", 0, "ingestion workers per tracker (default 4)")
@@ -59,6 +69,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	var wl *wire.CoordListener
+	if *wireA != "" {
+		wl, err = wire.NewCoordListener(*wireA, mgr.WireBridge())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distserve: wire listener: %v\n", err)
+			os.Exit(1)
+		}
+		mgr.SetWireStats(wl.Stats())
+		go func() {
+			if err := wl.Serve(); !errors.Is(err, wire.ErrClosed) {
+				logger.Printf("wire listener: %v", err)
+			}
+		}()
+		logf("wire listener on %s", wl.Addr())
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           mgr.Handler(),
@@ -82,6 +108,13 @@ func main() {
 	}
 
 	logf("shutting down: draining HTTP, taking final checkpoint")
+	if wl != nil {
+		// Dropped sites reconnect with backoff and resume from their
+		// acked watermarks once the daemon is back.
+		if err := wl.Close(); err != nil {
+			logger.Printf("wire shutdown: %v", err)
+		}
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

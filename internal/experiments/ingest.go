@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,8 @@ import (
 	"time"
 
 	distmat "repro"
+	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 // Ingest benchmark: the reproducible perf artifact (BENCH_ingest.json)
@@ -32,6 +35,17 @@ type IngestResult struct {
 	RowsPerSec        float64 `json:"rows_per_sec"`
 	Messages          int64   `json:"messages"`
 	MessagesPerUpdate float64 `json:"messages_per_update"`
+
+	// Network columns, present only on wire-transport entries (protocol
+	// suffix "-wire"): frames and bytes both directions across the
+	// loopback wire listener. Messages counts the *protocol's* site→
+	// coordinator traffic; these count the *transport's* — blocked framing
+	// means net_msgs_per_update sits far below 1 even before the protocol
+	// dedupes anything.
+	NetMsgs           int64   `json:"net_msgs,omitempty"`
+	NetBytes          int64   `json:"net_bytes,omitempty"`
+	NetMsgsPerUpdate  float64 `json:"net_msgs_per_update,omitempty"`
+	NetBytesPerUpdate float64 `json:"net_bytes_per_update,omitempty"`
 }
 
 // IngestBenchDoc is the BENCH_ingest.json layout. GoMaxProcs records the
@@ -168,6 +182,21 @@ func (r *Runner) IngestBench() ([]IngestResult, error) {
 		out = append(out, res)
 	}
 
+	// The network counterpart of p2-blocked: the same blocked fast-mode
+	// stream crossing a real loopback socket as framed row blocks into a
+	// service manager — the distsite → distserve path (wire codec,
+	// acked watermarks, and all). All rows arrive at site 0, so the
+	// protocol message column is comparable only within this entry; the
+	// net columns are the point — the transport's frames and bytes per
+	// row on top of the protocol's messages-per-update.
+	{
+		res, err := wireIngestBench(cfg, rows, matDim)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+
 	// Blocked vs unblocked Frequent Directions: the sketch-level hot path
 	// with no protocol overhead. The unblocked baseline factorizes after
 	// every row (block 1, the row-at-a-time path); the blocked sketch uses
@@ -202,6 +231,75 @@ func (r *Runner) IngestBench() ([]IngestResult, error) {
 	out = append(out, ingestResult("quantile", "qdigest", qsess, len(qitems), time.Since(start)))
 
 	return out, nil
+}
+
+// wireIngestBench times the p2-wire entry: an in-memory service manager
+// behind a loopback wire listener, fed by a SiteConn streaming the bench
+// rows as numbered blocks. The timed section runs from the first
+// SendBlock to a Drain (applied-watermark barrier), so queued and
+// in-flight blocks are counted.
+func wireIngestBench(cfg Config, rows [][]float64, matDim int) (IngestResult, error) {
+	var res IngestResult
+	mgr, err := service.Open(service.Options{})
+	if err != nil {
+		return res, err
+	}
+	defer mgr.Close()
+	tr, err := mgr.Create("bench", service.Spec{
+		Kind: service.KindMatrix, Protocol: "p2", Sites: cfg.Sites,
+		Epsilon: 0.1, Dim: matDim, Seed: cfg.Seed, Fast: true,
+	})
+	if err != nil {
+		return res, err
+	}
+	ln, err := wire.NewCoordListener("127.0.0.1:0", mgr.WireBridge())
+	if err != nil {
+		return res, err
+	}
+	defer ln.Close()
+	go ln.Serve()
+	sc, err := wire.Dial(wire.SiteConfig{Addr: ln.Addr(), Site: 0, Tracker: "bench"})
+	if err != nil {
+		return res, err
+	}
+	defer sc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	const block = 1024
+	start := time.Now()
+	for i := 0; i < len(rows); i += block {
+		end := i + block
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if err := sc.SendBlock(rows[i:end]); err != nil {
+			return res, err
+		}
+	}
+	if err := sc.Drain(ctx); err != nil {
+		return res, err
+	}
+	elapsed := time.Since(start)
+
+	st := ln.Stats().Snapshot()
+	res = IngestResult{
+		Problem: "matrix", Protocol: "p2-wire", Mode: "fast",
+		Sites: cfg.Sites, Epsilon: 0.1, Dim: matDim, N: len(rows),
+		Seconds:  elapsed.Seconds(),
+		Messages: tr.Stats().Total(),
+		NetMsgs:  st.FramesIn + st.FramesOut,
+		NetBytes: st.BytesIn + st.BytesOut,
+	}
+	if res.Seconds > 0 {
+		res.RowsPerSec = float64(res.N) / res.Seconds
+	}
+	if res.N > 0 {
+		res.MessagesPerUpdate = float64(res.Messages) / float64(res.N)
+		res.NetMsgsPerUpdate = float64(res.NetMsgs) / float64(res.N)
+		res.NetBytesPerUpdate = float64(res.NetBytes) / float64(res.N)
+	}
+	return res, nil
 }
 
 // sketchResult is ingestResult for the standalone FD sketch rows, which

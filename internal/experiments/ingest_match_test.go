@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
 
 // TestMatchIngestResultsToleratesOlderArtifacts covers the benchcompare
 // alignment rules: entries from artifacts predating the mode and shards
@@ -51,6 +55,60 @@ func TestMatchIngestResultsToleratesOlderArtifacts(t *testing.T) {
 	// Removed: the hh entry and the unmatched exact-mode dup.
 	if len(removed) != 2 || removed[0].Protocol != "p1" || removed[1].Protocol != "dup" {
 		t.Errorf("removed = %+v, want [hh/p1, matrix/dup(exact)]", removed)
+	}
+}
+
+// TestIngestNetColumnsAlignmentAndJSON pins the wire entry's contract:
+// the network columns ride along without entering the alignment identity
+// — a p2-wire entry pairs by (problem, protocol, mode, shards) exactly
+// like any other, whether or not the old artifact predates the columns —
+// and they serialize under the pinned names (net_msgs, net_bytes,
+// net_msgs_per_update, net_bytes_per_update), absent entirely from
+// non-wire entries.
+func TestIngestNetColumnsAlignmentAndJSON(t *testing.T) {
+	wire := IngestResult{
+		Problem: "matrix", Protocol: "p2-wire", Mode: "fast",
+		RowsPerSec: 500, NetMsgs: 130, NetBytes: 2_160_000,
+		NetMsgsPerUpdate: 0.0325, NetBytesPerUpdate: 540,
+	}
+	plain := IngestResult{Problem: "matrix", Protocol: "p2-blocked", Mode: "fast", RowsPerSec: 900}
+
+	// Old artifact carries the same entry without net columns (predates
+	// them): the pair still matches by full key, note-free.
+	olds := []IngestResult{
+		{Problem: "matrix", Protocol: "p2-wire", Mode: "fast", RowsPerSec: 400},
+		plain,
+	}
+	pairs, removed := MatchIngestResults(olds, []IngestResult{wire, plain})
+	if len(removed) != 0 {
+		t.Fatalf("removed = %+v, want none", removed)
+	}
+	if p := pairs[0]; !p.HasOld || p.Old.RowsPerSec != 400 || p.Note != "" {
+		t.Errorf("wire entry vs pre-net-column artifact: pair = %+v, want clean full-key match", p)
+	}
+	if p := pairs[1]; !p.HasOld || p.Old.NetMsgs != 0 || p.New.NetMsgs != 0 {
+		t.Errorf("non-wire entry: pair = %+v, want matched with no net columns", p)
+	}
+
+	// JSON names are the artifact contract benchcompare and CI read.
+	got, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{`"net_msgs":130`, `"net_bytes":2160000`, `"net_msgs_per_update":0.0325`, `"net_bytes_per_update":540`} {
+		if !strings.Contains(string(got), name) {
+			t.Errorf("marshalled wire entry %s missing %s", got, name)
+		}
+	}
+	var back IngestResult
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != wire {
+		t.Errorf("round trip = %+v, want %+v", back, wire)
+	}
+	if got, err := json.Marshal(plain); err != nil || strings.Contains(string(got), "net_") {
+		t.Errorf("non-wire entry %s leaks net columns (err %v)", got, err)
 	}
 }
 

@@ -1,49 +1,75 @@
 package node
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+
+	"repro/internal/wire"
 )
 
-// TCP transport: the coordinator runs a CoordinatorServer; each site runs a
-// SiteClient that dials in, registers with a KindHello message, streams its
-// reports, and receives estimate broadcasts on the same connection. Framing
-// is encoding/gob, one Message per frame.
+// TCP transport: the coordinator runs a CoordinatorServer; each site runs
+// a SiteClient that dials in, registers with a hello frame, streams its
+// reports, and receives estimate broadcasts on the same connection.
+// Framing is the internal/wire codec — length-prefixed, CRC-checked
+// msg-block frames carrying whole batches, so a site's blocked outbox
+// (BatchSender) crosses the network as one frame instead of one gob
+// message per row. (The original gob transport survives in
+// tcp_oracle_test.go as the behavioral oracle the port is tested
+// against.)
 
-// CoordinatorServer accepts site connections and pumps their messages into
-// a CoordinatorHandler. Its Broadcast method (wired as the coordinator's
+// toWireMsg converts a runtime message to its frame record.
+func toWireMsg(m Message) wire.Msg {
+	return wire.Msg{Kind: uint8(m.Kind), Site: m.Site, Elem: m.Elem, Value: m.Value, Vec: m.Vec}
+}
+
+// fromWireMsg converts a decoded frame record to a runtime message,
+// copying the vector out of the decoder's pooled buffer: handlers are
+// allowed to retain Vec (the P3 coordinator keeps sampled rows), so they
+// must never see borrowed storage.
+func fromWireMsg(w wire.Msg) Message {
+	m := Message{Kind: MsgKind(w.Kind), Site: w.Site, Elem: w.Elem, Value: w.Value}
+	if w.Vec != nil {
+		m.Vec = append([]float64(nil), w.Vec...)
+	}
+	return m
+}
+
+// CoordinatorServer accepts site connections and pumps their messages
+// into a CoordinatorHandler. Its Send method (wired as the coordinator's
 // broadcast Sender) fans a message out to every connected site.
 type CoordinatorServer struct {
 	ln net.Listener
 
 	mu      sync.Mutex
-	conns   map[int]*connWriter // by site id
-	closed  bool
-	handler CoordinatorHandler
+	conns   map[int]*connWriter //distlint:guarded-by mu
+	closed  bool                //distlint:guarded-by mu
+	handler CoordinatorHandler  //distlint:guarded-by mu
 
 	wg sync.WaitGroup
 }
 
-// connWriter serializes gob writes on one connection.
+// connWriter serializes frame writes on one connection.
 type connWriter struct {
-	mu  sync.Mutex
-	enc *gob.Encoder
-	c   net.Conn
+	mu      sync.Mutex
+	enc     *wire.Encoder
+	c       net.Conn
+	scratch [1]wire.Msg //distlint:guarded-by mu
 }
 
 func (w *connWriter) write(m Message) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.enc.Encode(m)
+	w.scratch[0] = toWireMsg(m)
+	return w.enc.MsgBlock(w.scratch[:])
 }
 
 // NewCoordinatorServer listens on addr (e.g. "127.0.0.1:0").
-// Wire the returned server's Broadcast as the coordinator's broadcast
-// Sender, then call SetHandler and Serve.
+// Wire the returned server's Send as the coordinator's broadcast Sender,
+// then call SetHandler and Serve.
 func NewCoordinatorServer(addr string) (*CoordinatorServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -94,22 +120,24 @@ func (s *CoordinatorServer) Serve() error {
 			return fmt.Errorf("node: accept: %w", err)
 		}
 		s.wg.Add(1)
+		//distlint:lifecycle serveConn exits when its conn closes (peer or
+		// Close); Close waits on wg.
 		go s.serveConn(conn)
 	}
 }
 
 func (s *CoordinatorServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	dec := gob.NewDecoder(conn)
-	writer := &connWriter{enc: gob.NewEncoder(conn), c: conn}
+	dec := wire.NewDecoder(bufio.NewReader(conn), nil)
+	writer := &connWriter{enc: wire.NewEncoder(conn, nil), c: conn}
 
 	// First frame must be the site registration.
-	var hello Message
-	if err := dec.Decode(&hello); err != nil || hello.Kind != KindHello {
+	f, err := dec.Next()
+	if err != nil || f.Kind != wire.KindHello {
 		conn.Close()
 		return
 	}
-	site := hello.Site
+	site := f.Hello.Site
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -130,15 +158,17 @@ func (s *CoordinatorServer) serveConn(conn net.Conn) {
 	}()
 
 	for {
-		var m Message
-		if err := dec.Decode(&m); err != nil {
-			return // EOF or connection teardown
+		f, err := dec.Next()
+		if err != nil || f.Kind != wire.KindMsgBlock {
+			return // EOF, teardown, or protocol breach
 		}
 		if h == nil {
 			continue
 		}
-		if err := h.Handle(m); err != nil {
-			return
+		for _, wm := range f.Msgs {
+			if err := h.Handle(fromWireMsg(wm)); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -166,44 +196,57 @@ func (s *CoordinatorServer) Close() error {
 	return err
 }
 
-// SiteClient connects a site state machine to a remote coordinator.
+// SiteClient connects a site state machine to a remote coordinator. It
+// implements BatchSender: a blocked site's whole outbox ships as one
+// msg-block frame.
 type SiteClient struct {
-	conn   net.Conn
-	writer *connWriter
+	conn net.Conn
+
+	wmu     sync.Mutex
+	enc     *wire.Encoder //distlint:guarded-by wmu
+	scratch []wire.Msg    //distlint:guarded-by wmu
 
 	mu     sync.Mutex
-	closed bool
+	closed bool  //distlint:guarded-by mu
+	rerr   error //distlint:guarded-by mu
 	done   chan struct{}
-	rerr   error
 }
 
+var _ BatchSender = (*SiteClient)(nil)
+
 // DialSite connects to the coordinator at addr, registers site id, and
-// starts the broadcast receive loop delivering into recv. The returned
-// client's Send is the Sender to hand the site state machine.
+// starts the broadcast receive loop delivering into recv (nil discards
+// broadcasts). The returned client's Send/SendAll is the Sender to hand
+// the site state machine.
 func DialSite(addr string, id int, recv BroadcastReceiver) (*SiteClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("node: dial %s: %w", addr, err)
 	}
 	c := &SiteClient{
-		conn:   conn,
-		writer: &connWriter{enc: gob.NewEncoder(conn), c: conn},
-		done:   make(chan struct{}),
+		conn: conn,
+		enc:  wire.NewEncoder(conn, nil),
+		done: make(chan struct{}),
 	}
-	if err := c.writer.write(Message{Kind: KindHello, Site: id}); err != nil {
+	c.wmu.Lock()
+	err = c.enc.Hello(wire.Hello{Site: id})
+	c.wmu.Unlock()
+	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("node: register site %d: %w", id, err)
 	}
+	//distlint:lifecycle readLoop exits when conn closes; Close waits on
+	// done.
 	go c.readLoop(recv)
 	return c, nil
 }
 
 func (c *SiteClient) readLoop(recv BroadcastReceiver) {
 	defer close(c.done)
-	dec := gob.NewDecoder(c.conn)
+	dec := wire.NewDecoder(bufio.NewReader(c.conn), nil)
 	for {
-		var m Message
-		if err := dec.Decode(&m); err != nil {
+		f, err := dec.Next()
+		if err != nil {
 			c.mu.Lock()
 			if !c.closed && !errors.Is(err, io.EOF) {
 				c.rerr = err
@@ -211,8 +254,11 @@ func (c *SiteClient) readLoop(recv BroadcastReceiver) {
 			c.mu.Unlock()
 			return
 		}
-		if recv != nil {
-			if err := recv.HandleBroadcast(m); err != nil {
+		if f.Kind != wire.KindMsgBlock || recv == nil {
+			continue
+		}
+		for _, wm := range f.Msgs {
+			if err := recv.HandleBroadcast(fromWireMsg(wm)); err != nil {
 				c.mu.Lock()
 				c.rerr = err
 				c.mu.Unlock()
@@ -222,8 +268,27 @@ func (c *SiteClient) readLoop(recv BroadcastReceiver) {
 	}
 }
 
-// Send implements Sender: site → coordinator.
-func (c *SiteClient) Send(m Message) error { return c.writer.write(m) }
+// Send implements Sender: site → coordinator, one message per frame.
+func (c *SiteClient) Send(m Message) error {
+	return c.SendAll([]Message{m})
+}
+
+// SendAll implements BatchSender: the whole outbox in one frame.
+func (c *SiteClient) SendAll(ms []Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if cap(c.scratch) < len(ms) {
+		c.scratch = make([]wire.Msg, len(ms))
+	}
+	batch := c.scratch[:len(ms)]
+	for i, m := range ms {
+		batch[i] = toWireMsg(m)
+	}
+	return c.enc.MsgBlock(batch)
+}
 
 // Close tears the connection down and waits for the receive loop.
 func (c *SiteClient) Close() error {
@@ -239,8 +304,8 @@ func (c *SiteClient) Close() error {
 	return err
 }
 
-// Err returns the receive loop's terminal error, if any (nil after a clean
-// Close or remote EOF).
+// Err returns the receive loop's terminal error, if any (nil after a
+// clean Close or remote EOF).
 func (c *SiteClient) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

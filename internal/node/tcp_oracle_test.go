@@ -1,0 +1,386 @@
+package node
+
+import (
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/sample"
+)
+
+// This file keeps the original per-message gob transport alive as a
+// test-only oracle: the production transport (tcp.go) moved to framed
+// msg-blocks on the internal/wire codec, and the lock-step tests below
+// prove the port is behaviorally identical — same coordinator state, bit
+// for bit, for the same fed stream.
+
+// gobServer is the retired gob coordinator transport.
+type gobServer struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	conns   map[int]*gobWriter
+	closed  bool
+	handler CoordinatorHandler
+
+	wg sync.WaitGroup
+}
+
+type gobWriter struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	c   net.Conn
+}
+
+func (w *gobWriter) write(m Message) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(m)
+}
+
+func newGobServer(t *testing.T) *gobServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &gobServer{ln: ln, conns: make(map[int]*gobWriter)}
+}
+
+func (s *gobServer) Send(m Message) error {
+	s.mu.Lock()
+	writers := make([]*gobWriter, 0, len(s.conns))
+	for _, w := range s.conns {
+		writers = append(writers, w)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, w := range writers {
+		if err := w.write(m); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (s *gobServer) serve() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *gobServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	dec := gob.NewDecoder(conn)
+	writer := &gobWriter{enc: gob.NewEncoder(conn), c: conn}
+	var hello Message
+	if err := dec.Decode(&hello); err != nil || hello.Kind != KindHello {
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[hello.Site] = writer
+	h := s.handler
+	s.mu.Unlock()
+	defer conn.Close()
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		if h != nil {
+			if err := h.Handle(m); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *gobServer) close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*gobWriter, 0, len(s.conns))
+	for _, w := range s.conns {
+		conns = append(conns, w)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, w := range conns {
+		w.c.Close()
+	}
+	s.wg.Wait()
+}
+
+// gobClient is the retired gob site transport.
+type gobClient struct {
+	conn   net.Conn
+	writer *gobWriter
+	done   chan struct{}
+}
+
+func dialGobSite(t *testing.T, addr string, id int, recv BroadcastReceiver) *gobClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &gobClient{conn: conn, writer: &gobWriter{enc: gob.NewEncoder(conn), c: conn}, done: make(chan struct{})}
+	if err := c.writer.write(Message{Kind: KindHello, Site: id}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer close(c.done)
+		dec := gob.NewDecoder(conn)
+		for {
+			var m Message
+			if err := dec.Decode(&m); err != nil {
+				return
+			}
+			if recv != nil {
+				if err := recv.HandleBroadcast(m); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return c
+}
+
+func (c *gobClient) Send(m Message) error { return c.writer.write(m) }
+
+func (c *gobClient) close() {
+	c.conn.Close()
+	<-c.done
+}
+
+// bcastCounter wraps a site's broadcast receiver and counts deliveries
+// after they are handled, so a matching count means the site has fully
+// absorbed every broadcast — the lock-step tests' quiescence signal.
+type bcastCounter struct {
+	inner BroadcastReceiver
+	n     atomic.Int64
+}
+
+func (b *bcastCounter) HandleBroadcast(m Message) error {
+	err := b.inner.HandleBroadcast(m)
+	b.n.Add(1)
+	return err
+}
+
+// hhDeploy is one HH P2 deployment (wire or gob transport) under test.
+type hhDeploy struct {
+	coord    *HHCoordinator
+	sites    []*HHSite
+	counters []*bcastCounter
+	close    func()
+}
+
+// quiesce waits until the deployment is fully settled: every sent report
+// handled, every broadcast absorbed by every site.
+func (d *hhDeploy) quiesce(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var sent int64
+		for _, s := range d.sites {
+			sent += s.Sent()
+		}
+		settled := d.coord.Received() == sent
+		for _, c := range d.counters {
+			settled = settled && c.n.Load() == d.coord.Broadcasts()
+		}
+		if settled {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	t.Fatal("deployment did not quiesce")
+}
+
+func startWireHH(t *testing.T, m int, eps float64) *hhDeploy {
+	t.Helper()
+	srv, err := NewCoordinatorServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewHHCoordinator(m, eps, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetHandler(coord)
+	go srv.Serve()
+	d := &hhDeploy{coord: coord, close: func() { srv.Close() }}
+	for i := 0; i < m; i++ {
+		var cli *SiteClient
+		site, err := NewHHSite(i, m, eps, SenderFunc(func(msg Message) error { return cli.Send(msg) }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counter := &bcastCounter{inner: site}
+		cli, err = DialSite(srv.Addr(), i, counter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.sites = append(d.sites, site)
+		d.counters = append(d.counters, counter)
+	}
+	return d
+}
+
+func startGobHH(t *testing.T, m int, eps float64) *hhDeploy {
+	t.Helper()
+	srv := newGobServer(t)
+	coord, err := NewHHCoordinator(m, eps, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.handler = coord
+	go srv.serve()
+	d := &hhDeploy{coord: coord, close: srv.close}
+	for i := 0; i < m; i++ {
+		var cli *gobClient
+		site, err := NewHHSite(i, m, eps, SenderFunc(func(msg Message) error { return cli.Send(msg) }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counter := &bcastCounter{inner: site}
+		cli = dialGobSite(t, srv.ln.Addr().String(), i, counter)
+		d.sites = append(d.sites, site)
+		d.counters = append(d.counters, counter)
+	}
+	return d
+}
+
+// TestWireTransportMatchesGobOracle drives the framed wire transport and
+// the retired gob transport in lock step over the same HH P2 stream and
+// requires identical coordinator state — message counts and estimates,
+// bit for bit — after every single item.
+func TestWireTransportMatchesGobOracle(t *testing.T) {
+	const m, eps = 2, 0.1
+	wireD := startWireHH(t, m, eps)
+	defer wireD.close()
+	gobD := startGobHH(t, m, eps)
+	defer gobD.close()
+
+	cfg := gen.DefaultZipfConfig(400)
+	cfg.Beta = 10
+	items := gen.ZipfStream(cfg)
+
+	for i, it := range items {
+		site := i % m
+		if err := wireD.sites[site].HandleItem(it.Elem, it.Weight); err != nil {
+			t.Fatal(err)
+		}
+		if err := gobD.sites[site].HandleItem(it.Elem, it.Weight); err != nil {
+			t.Fatal(err)
+		}
+		wireD.quiesce(t)
+		gobD.quiesce(t)
+
+		if w, g := wireD.coord.Received(), gobD.coord.Received(); w != g {
+			t.Fatalf("item %d: wire received %d, gob %d", i, w, g)
+		}
+		if w, g := wireD.coord.Broadcasts(), gobD.coord.Broadcasts(); w != g {
+			t.Fatalf("item %d: wire broadcast %d, gob %d", i, w, g)
+		}
+		if w, g := wireD.coord.EstimateTotal(), gobD.coord.EstimateTotal(); math.Float64bits(w) != math.Float64bits(g) {
+			t.Fatalf("item %d: wire Ŵ=%v, gob Ŵ=%v (not bit-identical)", i, w, g)
+		}
+	}
+
+	// Final per-element estimates agree exactly too.
+	for _, it := range items {
+		if w, g := wireD.coord.Estimate(it.Elem), gobD.coord.Estimate(it.Elem); math.Float64bits(w) != math.Float64bits(g) {
+			t.Fatalf("element %d: wire %v, gob %v", it.Elem, w, g)
+		}
+	}
+}
+
+// TestWireTransportP3Retention runs matrix P3 — whose coordinator
+// retains forwarded row vectors in its sampler — over the wire transport
+// in lock step with the in-process cluster. Identical Gram estimates
+// prove the transport hands handlers stable storage, not views into the
+// decoder's reused buffers.
+func TestWireTransportP3Retention(t *testing.T) {
+	const d, eps, seed = 6, 0.2, 99
+
+	local, err := NewLocalP3Cluster(1, eps, d, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewCoordinatorServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	coord, err := NewP3Coordinator(d, sample.RecommendedSampleSize(eps), srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetHandler(coord)
+	go srv.Serve()
+	var cli *SiteClient
+	site, err := NewP3Site(0, d, seed, SenderFunc(func(msg Message) error { return cli.Send(msg) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &bcastCounter{inner: site}
+	cli, err = DialSite(srv.Addr(), 0, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	row := make([]float64, d)
+	deadline := time.Now().Add(20 * time.Second)
+	for i := 0; i < 300; i++ {
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		if err := local.Feed(0, row); err != nil {
+			t.Fatal(err)
+		}
+		if err := site.HandleRow(row); err != nil {
+			t.Fatal(err)
+		}
+		for (coord.Received() != site.Sent() || counter.n.Load() != coord.Broadcasts()) && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Microsecond)
+		}
+		if coord.Received() != site.Sent() {
+			t.Fatal("TCP deployment did not quiesce")
+		}
+	}
+
+	if w, l := coord.Received(), local.Coordinator.Received(); w != l {
+		t.Fatalf("received %d over TCP, %d locally", w, l)
+	}
+	if w, l := coord.EstimateFrobenius(), local.Coordinator.EstimateFrobenius(); math.Float64bits(w) != math.Float64bits(l) {
+		t.Fatalf("frobenius %v over TCP, %v locally (not bit-identical)", w, l)
+	}
+	tg, lg := coord.Gram(), local.Coordinator.Gram()
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			if math.Float64bits(tg.At(i, j)) != math.Float64bits(lg.At(i, j)) {
+				t.Fatalf("gram[%d][%d]: %v over TCP, %v locally", i, j, tg.At(i, j), lg.At(i, j))
+			}
+		}
+	}
+}

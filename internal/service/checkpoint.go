@@ -26,6 +26,13 @@ type envelope struct {
 	Name    string
 	Spec    Spec
 	State   []byte // distmat.(*Session).SaveState output
+
+	// Watermarks are the per-site applied wire-stream watermarks at the
+	// instant State was captured (same tracker-lock critical section), so
+	// a restored tracker resumes its site streams from exactly the blocks
+	// its state contains. Absent in pre-wire checkpoints; gob decodes
+	// those with a nil map, which restores as "no streams yet".
+	Watermarks map[int]uint64
 }
 
 const envelopeVersion = 1
@@ -110,17 +117,27 @@ func (m *Manager) checkpointTracker(t *Tracker) error {
 		return nil
 	}
 	// Serialize under the tracker lock so the snapshot is a consistent
-	// instant; write the file outside it.
+	// instant; write the file outside it. The wire watermarks are copied
+	// in the same critical section — they describe exactly the blocks the
+	// serialized state contains.
 	t.mu.Lock()
 	var state bytes.Buffer
 	err := t.sess.SaveState(&state)
+	var wmSnap map[int]uint64
 	if err == nil {
 		t.dirty = false
+		if len(t.wm) > 0 {
+			wmSnap = make(map[int]uint64, len(t.wm))
+			for s, a := range t.wm {
+				wmSnap[s] = a
+			}
+		}
 	}
 	t.mu.Unlock()
 	if err == nil {
 		err = writeFileAtomic(m.checkpointPath(t.name), envelope{
 			Version: envelopeVersion, Name: t.name, Spec: t.spec, State: state.Bytes(),
+			Watermarks: wmSnap,
 		})
 	}
 	if err != nil {
@@ -129,6 +146,17 @@ func (m *Manager) checkpointTracker(t *Tracker) error {
 		t.dirty = true
 		t.mu.Unlock()
 		return err
+	}
+	if wmSnap != nil {
+		// The file is durable: blocks up to the captured watermarks now
+		// survive a restart, so sites may discard them.
+		t.mu.Lock()
+		for s, a := range wmSnap {
+			if a > t.wmDurable[s] {
+				t.wmDurable[s] = a
+			}
+		}
+		t.mu.Unlock()
 	}
 	t.ckptErr.Store("")
 	t.lastCkpt.Store(time.Now().UnixNano())
@@ -222,6 +250,14 @@ func (m *Manager) restoreOne(path string) (*Tracker, error) {
 		return nil, err
 	}
 	t := newTracker(env.Name, env.Spec, sess, m.opts.Shards, m.opts.QueueDepth, m.opts.EnqueueTimeout)
+	t.mu.Lock()
+	for s, a := range env.Watermarks {
+		// Everything the checkpoint describes is both applied and durable
+		// in the restored tracker; sites resume from here.
+		t.wm[s] = a
+		t.wmDurable[s] = a
+	}
+	t.mu.Unlock()
 	if info, err := os.Stat(path); err == nil {
 		t.lastCkpt.Store(info.ModTime().UnixNano())
 	}

@@ -5,7 +5,10 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // Options configures a Manager. The zero value of every field takes the
@@ -64,6 +67,10 @@ type Manager struct {
 
 	stopCkpt chan struct{}
 	ckptWG   sync.WaitGroup
+
+	// wireStats, when set (SetWireStats), are the wire listener's traffic
+	// counters, surfaced in /metrics as the network cost dimension.
+	wireStats atomic.Pointer[wire.Stats]
 }
 
 // Open builds a Manager. When opts.DataDir is set it is created if needed

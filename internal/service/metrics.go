@@ -35,15 +35,43 @@ type TrackerMetrics struct {
 	Shards    int     `json:"shards,omitempty"`
 	ShardRows []int64 `json:"shard_rows,omitempty"`
 
+	// Wire-stream ingestion, omitted for trackers no site streams to:
+	// blocks and rows applied through the wire listener, and retransmitted
+	// duplicates the sequence dedup dropped.
+	NetBlocks    int64 `json:"net_blocks,omitempty"`
+	NetRows      int64 `json:"net_rows,omitempty"`
+	NetDupBlocks int64 `json:"net_dup_blocks,omitempty"`
+
 	Persistable        bool   `json:"persistable"`
 	LastCheckpointUnix int64  `json:"last_checkpoint_unix,omitempty"`
 	CheckpointError    string `json:"checkpoint_error,omitempty"`
+}
+
+// WireMetrics is the /metrics network section: the wire listener's frame
+// and byte counters plus the headline per-update ratios — wire messages
+// and bytes divided by rows applied through the wire path. It mirrors
+// the paper's communication-cost framing at the transport layer: the
+// protocol counters (up/down messages) measure what the algorithms say,
+// these measure what the network carries.
+type WireMetrics struct {
+	FramesIn  int64 `json:"frames_in"`
+	BytesIn   int64 `json:"bytes_in"`
+	FramesOut int64 `json:"frames_out"`
+	BytesOut  int64 `json:"bytes_out"`
+	NetRows   int64 `json:"net_rows"`
+
+	MsgsPerUpdate  float64 `json:"net_msgs_per_update"`
+	BytesPerUpdate float64 `json:"net_bytes_per_update"`
 }
 
 // Metrics is the /metrics document.
 type Metrics struct {
 	UptimeSeconds float64                   `json:"uptime_seconds"`
 	Trackers      map[string]TrackerMetrics `json:"trackers"`
+
+	// Wire is present when the process runs a wire listener (distserve
+	// -wire).
+	Wire *WireMetrics `json:"wire,omitempty"`
 }
 
 // metrics assembles one tracker's row. Safe during ingestion and never
@@ -75,6 +103,9 @@ func (t *Tracker) metrics() TrackerMetrics {
 		tm.Shards = shards
 		tm.ShardRows = rows
 	}
+	tm.NetBlocks = t.wireBlocks.Load()
+	tm.NetRows = t.wireRows.Load()
+	tm.NetDupBlocks = t.wireDups.Load()
 	if count > 0 {
 		tm.MessagesPerUpdate = float64(stats.Total()) / float64(count)
 	}
@@ -97,8 +128,26 @@ func (m *Manager) Metrics() Metrics {
 		UptimeSeconds: m.Uptime().Seconds(),
 		Trackers:      make(map[string]TrackerMetrics),
 	}
+	var netRows int64
 	for _, t := range m.List() {
-		out.Trackers[t.name] = t.metrics()
+		tm := t.metrics()
+		out.Trackers[t.name] = tm
+		netRows += tm.NetRows
+	}
+	if ws := m.wireStats.Load(); ws != nil {
+		snap := ws.Snapshot()
+		wm := &WireMetrics{
+			FramesIn:  snap.FramesIn,
+			BytesIn:   snap.BytesIn,
+			FramesOut: snap.FramesOut,
+			BytesOut:  snap.BytesOut,
+			NetRows:   netRows,
+		}
+		if netRows > 0 {
+			wm.MsgsPerUpdate = float64(snap.FramesIn+snap.FramesOut) / float64(netRows)
+			wm.BytesPerUpdate = float64(snap.BytesIn+snap.BytesOut) / float64(netRows)
+		}
+		out.Wire = wm
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,9 +15,12 @@ import (
 const AssignSite = -1
 
 // ingestReq is one enqueued batch. Exactly one of rows/items is set; done
-// (buffered) receives the apply result.
+// (buffered) receives the apply result. seq, when non-zero, is the wire
+// stream's block number: apply dedups against the site's watermark and
+// advances it atomically with the session mutation.
 type ingestReq struct {
 	site  int // explicit site, or AssignSite
+	seq   uint64
 	rows  [][]float64
 	items []distmat.WeightedItem
 	done  chan error
@@ -38,6 +42,15 @@ type Tracker struct {
 	//distlint:guarded-by mu
 	dirty bool // mutated since the last (attempted) checkpoint
 
+	// Wire stream watermarks, per site. wm advances atomically with the
+	// session apply (same mu critical section), so a checkpoint captured
+	// under mu describes exactly the blocks its state contains; wmDurable
+	// advances only after that checkpoint file lands.
+	//distlint:guarded-by mu
+	wm map[int]uint64
+	//distlint:guarded-by mu
+	wmDurable map[int]uint64
+
 	queues     []chan ingestReq
 	closed     chan struct{}
 	closeOnce  sync.Once
@@ -58,8 +71,12 @@ type Tracker struct {
 	ingested atomic.Int64 // rows/items applied
 	batches  atomic.Int64 // batches applied (rows/items ÷ batches = mean block size)
 	rejected atomic.Int64 // batches refused by backpressure
-	lastCkpt atomic.Int64 // unix nanos of the last successful checkpoint
-	ckptErr  atomic.Value // string: last checkpoint failure, "" when clean
+
+	wireRows   atomic.Int64 // rows applied through the wire path
+	wireBlocks atomic.Int64 // wire blocks applied
+	wireDups   atomic.Int64 // duplicate wire blocks dropped by seq dedup
+	lastCkpt   atomic.Int64 // unix nanos of the last successful checkpoint
+	ckptErr    atomic.Value // string: last checkpoint failure, "" when clean
 }
 
 // newTracker wires a tracker around an existing session and starts its
@@ -71,6 +88,8 @@ func newTracker(name string, spec Spec, sess *distmat.Session, shards, depth int
 		created:    time.Now(),
 		baseCount:  sess.Count(),
 		sess:       sess,
+		wm:         make(map[int]uint64),
+		wmDurable:  make(map[int]uint64),
 		queues:     make([]chan ingestReq, shards),
 		closed:     make(chan struct{}),
 		enqTimeout: enqTimeout,
@@ -123,6 +142,22 @@ func (t *Tracker) worker(q chan ingestReq) {
 func (t *Tracker) apply(req ingestReq) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if req.seq != 0 {
+		// Wire stream block: dedup and gap-check against the site
+		// watermark in the same critical section as the apply, so a
+		// retransmitted block can never land twice. (A block the session
+		// rejects — wrong dimension, bad site — fails before any row is
+		// applied: the wire codec guarantees uniform row length, so there
+		// is no partial-apply state to retransmit into.)
+		a := t.wm[req.site]
+		if req.seq <= a {
+			t.wireDups.Add(1)
+			return nil
+		}
+		if req.seq != a+1 {
+			return fmt.Errorf("service: wire stream gap at site %d: got block %d, want %d", req.site, req.seq, a+1)
+		}
+	}
 	before := t.sess.Count()
 	var err error
 	switch {
@@ -143,6 +178,11 @@ func (t *Tracker) apply(req ingestReq) error {
 		t.ingested.Add(n)
 		t.batches.Add(1)
 		t.dirty = true
+	}
+	if req.seq != 0 && err == nil {
+		t.wm[req.site] = req.seq
+		t.wireRows.Add(int64(len(req.rows)))
+		t.wireBlocks.Add(1)
 	}
 	return err
 }
@@ -199,6 +239,30 @@ func (t *Tracker) IngestRows(ctx context.Context, site int, rows [][]float64) er
 // (AssignSite routes through the session's assigner).
 func (t *Tracker) IngestItems(ctx context.Context, site int, items []distmat.WeightedItem) error {
 	return t.enqueue(ctx, ingestReq{site: site, items: items})
+}
+
+// IngestBlock applies one numbered wire-stream block at an explicit site.
+// A seq at or below the site's applied watermark is dropped as a
+// retransmitted duplicate (nil error); a seq past applied+1 is a stream
+// gap and errors. Explicit sites hash to a fixed shard queue, so blocks
+// stay in per-site FIFO order end to end.
+func (t *Tracker) IngestBlock(ctx context.Context, site int, seq uint64, rows [][]float64) error {
+	if seq == 0 {
+		return fmt.Errorf("service: wire block seq must be positive")
+	}
+	if site < 0 {
+		return fmt.Errorf("%w: site %d", distmat.ErrInvalidSite, site)
+	}
+	return t.enqueue(ctx, ingestReq{site: site, seq: seq, rows: rows})
+}
+
+// SiteWatermarks returns a site's wire stream watermarks: applied (every
+// block seq ≤ applied is in tracker state) and durable (every block
+// seq ≤ durable is covered by a checkpoint file).
+func (t *Tracker) SiteWatermarks(site int) (applied, durable uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wm[site], t.wmDurable[site]
 }
 
 // Name returns the tracker's name.

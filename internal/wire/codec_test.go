@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randRows(rng *rand.Rand, n, dim int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, dim)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	return rows
+}
+
+// TestCodecRoundTrip drives every frame kind through an encode/decode
+// cycle and requires bit-identical payloads.
+func TestCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	var stats Stats
+	enc := NewEncoder(&buf, &stats)
+	rng := rand.New(rand.NewSource(7))
+	rows := randRows(rng, 17, 5)
+
+	if err := enc.Hello(Hello{Site: 3, Tracker: "sensor-grid"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.HelloAck(HelloAck{Applied: 42, Durable: 17}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.RowBlock(9, 3, 5, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Ack(Ack{Applied: 9, Durable: 5}); err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Msg{
+		{Kind: 0, Site: 1, Value: 3.25},
+		{Kind: 2, Site: 0, Vec: []float64{1, -2.5, math.Pi}},
+		{Kind: 1, Site: 4, Elem: 77, Value: -0.125},
+	}
+	if err := enc.MsgBlock(msgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Error("tracker not found"); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := NewDecoder(&buf, &stats)
+	f, err := dec.Next()
+	if err != nil || f.Kind != KindHello {
+		t.Fatalf("hello: %v %v", f, err)
+	}
+	if f.Hello.Site != 3 || f.Hello.Tracker != "sensor-grid" {
+		t.Fatalf("hello payload %+v", f.Hello)
+	}
+	f, err = dec.Next()
+	if err != nil || f.Kind != KindHelloAck || f.HelloAck != (HelloAck{Applied: 42, Durable: 17}) {
+		t.Fatalf("hello-ack: %+v %v", f, err)
+	}
+	f, err = dec.Next()
+	if err != nil || f.Kind != KindRowBlock {
+		t.Fatalf("row-block: %v", err)
+	}
+	if f.Block.Seq != 9 || f.Block.Site != 3 || f.Block.Dim != 5 || len(f.Block.Rows) != len(rows) {
+		t.Fatalf("row-block header %+v", f.Block)
+	}
+	for i, row := range rows {
+		for j, v := range row {
+			if got := f.Block.Rows[i][j]; math.Float64bits(got) != math.Float64bits(v) {
+				t.Fatalf("row %d[%d]: %v != %v", i, j, got, v)
+			}
+		}
+	}
+	f, err = dec.Next()
+	if err != nil || f.Kind != KindAck || f.Ack != (Ack{Applied: 9, Durable: 5}) {
+		t.Fatalf("ack: %+v %v", f, err)
+	}
+	f, err = dec.Next()
+	if err != nil || f.Kind != KindMsgBlock || len(f.Msgs) != len(msgs) {
+		t.Fatalf("msg-block: %+v %v", f, err)
+	}
+	for i, want := range msgs {
+		got := f.Msgs[i]
+		if got.Kind != want.Kind || got.Site != want.Site || got.Elem != want.Elem ||
+			math.Float64bits(got.Value) != math.Float64bits(want.Value) || len(got.Vec) != len(want.Vec) {
+			t.Fatalf("msg %d: %+v != %+v", i, got, want)
+		}
+		for j, v := range want.Vec {
+			if math.Float64bits(got.Vec[j]) != math.Float64bits(v) {
+				t.Fatalf("msg %d vec[%d]: %v != %v", i, j, got.Vec[j], v)
+			}
+		}
+	}
+	f, err = dec.Next()
+	if err != nil || f.Kind != KindError || f.ErrMsg != "tracker not found" {
+		t.Fatalf("error frame: %+v %v", f, err)
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+
+	if stats.FramesOut.Load() != 6 || stats.FramesIn.Load() != 6 {
+		t.Fatalf("frame counts %d out / %d in", stats.FramesOut.Load(), stats.FramesIn.Load())
+	}
+	if stats.BytesOut.Load() != stats.BytesIn.Load() || stats.BytesOut.Load() == 0 {
+		t.Fatalf("byte counts %d out / %d in", stats.BytesOut.Load(), stats.BytesIn.Load())
+	}
+}
+
+// TestCodecFlatMatchesRows: the retransmit encoder (flat storage) emits
+// byte-identical frames to the [][]float64 encoder.
+func TestCodecFlatMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := randRows(rng, 8, 6)
+	flat := make([]float64, 0, 48)
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	var a, b bytes.Buffer
+	if err := NewEncoder(&a, nil).RowBlock(5, 2, 6, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewEncoder(&b, nil).RowBlockFlat(5, 2, 6, flat); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("flat and row encoders disagree")
+	}
+}
+
+// TestCodecCorruption: bit flips in the payload are caught by the CRC,
+// wrong magic and versions are refused, and truncated frames error.
+func TestCodecCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, nil)
+	if err := enc.RowBlock(1, 0, 2, [][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), buf.Bytes()...)
+
+	flipped := append([]byte(nil), frame...)
+	flipped[HeaderSize+10] ^= 0x40
+	if _, err := NewDecoder(bytes.NewReader(flipped), nil).Next(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("flipped payload bit: %v", err)
+	}
+
+	badMagic := append([]byte(nil), frame...)
+	badMagic[0] = 'X'
+	if _, err := NewDecoder(bytes.NewReader(badMagic), nil).Next(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	badVer := append([]byte(nil), frame...)
+	badVer[2] = 99
+	if _, err := NewDecoder(bytes.NewReader(badVer), nil).Next(); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	if _, err := NewDecoder(bytes.NewReader(frame[:len(frame)-3]), nil).Next(); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+
+	huge := append([]byte(nil), frame...)
+	huge[4], huge[5], huge[6], huge[7] = 0xff, 0xff, 0xff, 0xff
+	if _, err := NewDecoder(bytes.NewReader(huge), nil).Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+}
+
+// TestCodecMalformedPayloads: structurally invalid payloads behind valid
+// CRCs are rejected, not mis-decoded.
+func TestCodecMalformedPayloads(t *testing.T) {
+	// A row-block whose rows×dim disagrees with the payload length.
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, nil)
+	if err := enc.RowBlock(1, 0, 2, [][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), buf.Bytes()...)
+	// Claim 3 rows in the header (offset 12..16 of the payload), re-CRC.
+	p := frame[HeaderSize:]
+	p[12] = 3
+	reCRC(frame)
+	if _, err := NewDecoder(bytes.NewReader(frame), nil).Next(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("row count lie: %v", err)
+	}
+
+	// A hello whose name length overruns the payload.
+	buf.Reset()
+	if err := enc.Hello(Hello{Site: 0, Tracker: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	frame = append([]byte(nil), buf.Bytes()...)
+	frame[HeaderSize+8] = 200
+	reCRC(frame)
+	if _, err := NewDecoder(bytes.NewReader(frame), nil).Next(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("hello name overrun: %v", err)
+	}
+}
+
+// reCRC recomputes a staged frame's payload checksum after test tampering.
+func reCRC(frame []byte) {
+	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(frame[HeaderSize:]))
+}
+
+// TestDecoderSteadyStateAllocs: after the pools warm up, decoding row
+// blocks allocates nothing.
+func TestDecoderSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows := randRows(rng, 64, 16)
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, nil)
+	for i := 0; i < 12; i++ {
+		if err := enc.RowBlock(uint64(i+1), 0, 16, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := buf.Bytes()
+	dec := NewDecoder(bytes.NewReader(stream[:2*len(stream)/12]), nil)
+	for {
+		if _, err := dec.Next(); err != nil {
+			break
+		}
+	}
+	rest := bytes.NewReader(stream[2*len(stream)/12:])
+	dec.r = rest
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := dec.Next(); err != nil {
+			rest.Seek(0, io.SeekStart)
+			if _, err := dec.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decoder allocates %.1f per block in steady state", allocs)
+	}
+}
+
+// TestEncoderSteadyStateAllocs: the encoder's staging buffer pools too.
+func TestEncoderSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rows := randRows(rng, 64, 16)
+	enc := NewEncoder(io.Discard, nil)
+	if err := enc.RowBlock(1, 0, 16, rows); err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(1)
+	allocs := testing.AllocsPerRun(10, func() {
+		seq++
+		if err := enc.RowBlock(seq, 0, 16, rows); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encoder allocates %.1f per block in steady state", allocs)
+	}
+}

@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultProxy sits between a SiteConn and a CoordListener and mangles the
+// site→coordinator stream frame by frame: forward, duplicate, drop,
+// split into tiny writes, stall, or sever the connection mid-frame.
+// Coordinator→site traffic (acks) passes through untouched. Only
+// row-block frames are faulted, so the handshake always completes and
+// every fault lands on the path the resume machinery must heal.
+type faultProxy struct {
+	t      *testing.T
+	ln     net.Listener
+	target string
+	seed   int64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	connSeq atomic.Int64
+	dups    atomic.Int64
+	drops   atomic.Int64
+	splits  atomic.Int64
+	stalls  atomic.Int64
+	severs  atomic.Int64
+}
+
+func newFaultProxy(t *testing.T, target string, seed int64) *faultProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &faultProxy{t: t, ln: ln, target: target, seed: seed, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p
+}
+
+func (p *faultProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *faultProxy) close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+func (p *faultProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *faultProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *faultProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		site, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		coord, err := net.Dial("tcp", p.target)
+		if err != nil {
+			site.Close()
+			continue
+		}
+		if !p.track(site) || !p.track(coord) {
+			site.Close()
+			coord.Close()
+			return
+		}
+		rng := rand.New(rand.NewSource(p.seed + p.connSeq.Add(1)))
+		p.wg.Add(1)
+		go p.pipe(site, coord, rng)
+	}
+}
+
+// pipe relays one proxied connection, applying faults to site→coord
+// frames. Closing either end tears the pair down; the site reconnects
+// through a fresh accepted connection.
+func (p *faultProxy) pipe(site, coord net.Conn, rng *rand.Rand) {
+	defer p.wg.Done()
+	defer p.untrack(site)
+	defer p.untrack(coord)
+	defer site.Close()
+	defer coord.Close()
+
+	p.wg.Add(1)
+	go func() { // acks back to the site, unmangled
+		defer p.wg.Done()
+		io.Copy(site, coord)
+		site.Close()
+	}()
+
+	hdr := make([]byte, HeaderSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(site, hdr); err != nil {
+			return
+		}
+		plen := binary.LittleEndian.Uint32(hdr[4:8])
+		if plen > MaxPayload {
+			return
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(site, payload); err != nil {
+			return
+		}
+		frame := append(append([]byte(nil), hdr...), payload...)
+
+		if Kind(hdr[3]) != KindRowBlock {
+			if _, err := coord.Write(frame); err != nil {
+				return
+			}
+			continue
+		}
+		switch roll := rng.Intn(100); {
+		case roll < 70: // forward
+			if _, err := coord.Write(frame); err != nil {
+				return
+			}
+		case roll < 80: // duplicate: coordinator must dedup on seq
+			p.dups.Add(1)
+			if _, err := coord.Write(frame); err != nil {
+				return
+			}
+			if _, err := coord.Write(frame); err != nil {
+				return
+			}
+		case roll < 88: // split into 7-byte writes: framing must reassemble
+			p.splits.Add(1)
+			for off := 0; off < len(frame); off += 7 {
+				end := min(off+7, len(frame))
+				if _, err := coord.Write(frame[off:end]); err != nil {
+					return
+				}
+			}
+		case roll < 94: // stall, then deliver
+			p.stalls.Add(1)
+			time.Sleep(10 * time.Millisecond)
+			if _, err := coord.Write(frame); err != nil {
+				return
+			}
+		case roll < 97: // drop: coordinator sees a gap, errors, site resumes
+			p.drops.Add(1)
+		default: // sever mid-frame: half a block then a dead socket
+			p.severs.Add(1)
+			coord.Write(frame[:len(frame)/2])
+			return
+		}
+	}
+}
+
+// TestFaultInjectionExactlyOnce streams hundreds of blocks through the
+// fault proxy and requires the coordinator's applied log to be exactly
+// the sent stream — every block once, in order, bit-identical — with
+// the site healing every injected failure via reconnect + watermark
+// resume.
+func TestFaultInjectionExactlyOnce(t *testing.T) {
+	h := newMemHandler(true)
+	l := startListener(t, "127.0.0.1:0", h)
+	defer l.Close()
+	p := newFaultProxy(t, l.Addr(), 42)
+	defer p.close()
+
+	cfg := testSiteConfig(p.addr())
+	cfg.DialTimeout = 500 * time.Millisecond
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const blocks, rowsPer, dim = 200, 4, 3
+	for seq := uint64(1); seq <= blocks; seq++ {
+		if err := c.SendBlock(blockForSeq(seq, rowsPer, dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Fatalf("drain through fault proxy: %v (faults: %d dup %d drop %d split %d stall %d sever)",
+			err, p.dups.Load(), p.drops.Load(), p.splits.Load(), p.stalls.Load(), p.severs.Load())
+	}
+
+	verifyLog(t, h, 0, blocks, rowsPer, dim)
+
+	faulted := p.dups.Load() + p.drops.Load() + p.splits.Load() + p.stalls.Load() + p.severs.Load()
+	if faulted == 0 {
+		t.Fatal("proxy injected no faults; the test proved nothing")
+	}
+	if p.severs.Load()+p.drops.Load() > 0 && c.Stats().Connects.Load() < 2 {
+		t.Fatalf("stream was severed but the site never reconnected (connects=%d)", c.Stats().Connects.Load())
+	}
+	t.Logf("faults: %d dup, %d drop, %d split, %d stall, %d sever; %d reconnects, %d retransmits, %d dedups",
+		p.dups.Load(), p.drops.Load(), p.splits.Load(), p.stalls.Load(), p.severs.Load(),
+		c.Stats().Connects.Load()-1, c.Stats().Retransmits.Load(), h.dups)
+}

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler is the coordinator-side sink a CoordListener feeds. Both
+// methods return the stream's cumulative watermarks; an error turns into
+// an Error frame and drops the connection (the site reconnects and
+// resumes from the watermarks it was last acked).
+//
+// Calls for one connection are sequential; calls across connections are
+// concurrent, so implementations synchronize their own state.
+type Handler interface {
+	// Hello opens (or resumes) the (tracker, site) stream and returns
+	// the watermarks the site should resume from.
+	Hello(tracker string, site int) (applied, durable uint64, err error)
+
+	// RowBlock applies one numbered block. Implementations must drop
+	// seq ≤ applied as a duplicate (returning current watermarks) and
+	// reject gaps (seq > applied+1) with an error.
+	RowBlock(tracker string, site int, seq uint64, rows [][]float64) (applied, durable uint64, err error)
+}
+
+// helloTimeout bounds how long an accepted connection may sit silent
+// before its handshake; it keeps port scanners from pinning goroutines.
+const helloTimeout = 30 * time.Second
+
+// CoordListener accepts SiteConn streams and feeds their row blocks to a
+// Handler. One goroutine serves each connection: it reads a Hello,
+// answers with the handler's watermarks, then applies blocks and acks
+// each one. Sequential per-connection handling means a slow handler
+// backpressures the site through TCP and the site's in-flight window —
+// there is no unbounded queue between socket and tracker.
+type CoordListener struct {
+	ln    net.Listener
+	h     Handler
+	stats Stats
+
+	mu sync.Mutex
+	//distlint:guarded-by mu
+	conns map[net.Conn]struct{}
+	//distlint:guarded-by mu
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewCoordListener listens on addr (e.g. ":9070" or "127.0.0.1:0") and
+// serves handler. Call Serve to accept; Addr for the bound address.
+func NewCoordListener(addr string, h Handler) (*CoordListener, error) {
+	if h == nil {
+		return nil, fmt.Errorf("wire: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &CoordListener{ln: ln, h: h, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Addr returns the bound listen address.
+func (l *CoordListener) Addr() string { return l.ln.Addr().String() }
+
+// Stats exposes the listener's aggregate frame/byte counters.
+func (l *CoordListener) Stats() *Stats { return &l.stats }
+
+// Serve accepts connections until Close. It always returns a non-nil
+// error; after Close that error is ErrClosed.
+func (l *CoordListener) Serve() error {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			l.mu.Lock()
+			closed := l.closed
+			l.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return err
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return ErrClosed
+		}
+		l.conns[conn] = struct{}{}
+		l.wg.Add(1)
+		l.mu.Unlock()
+		//distlint:lifecycle serveConn exits when its conn is closed, by
+		// the peer or by Close; Close waits on wg.
+		go l.serveConn(conn)
+	}
+}
+
+// Close stops accepting, drops every live connection, and waits for the
+// per-connection goroutines to exit. Idempotent.
+func (l *CoordListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	l.wg.Wait()
+	return err
+}
+
+// serveConn runs one connection: handshake, then the block/ack loop.
+func (l *CoordListener) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+		l.wg.Done()
+	}()
+
+	_ = conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	dec := NewDecoder(bufio.NewReader(conn), &l.stats)
+	enc := NewEncoder(conn, &l.stats)
+
+	f, err := dec.Next()
+	if err != nil || f.Kind != KindHello {
+		return // not our protocol; drop silently
+	}
+	tracker, site := f.Hello.Tracker, f.Hello.Site
+	applied, durable, err := l.h.Hello(tracker, site)
+	if err != nil {
+		_ = enc.Error(err.Error())
+		return
+	}
+	if err := enc.HelloAck(HelloAck{Applied: applied, Durable: durable}); err != nil {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	for {
+		f, err := dec.Next()
+		if err != nil {
+			return
+		}
+		switch f.Kind {
+		case KindRowBlock:
+			if f.Block.Site != site {
+				_ = enc.Error(fmt.Sprintf("wire: block for site %d on site %d's connection", f.Block.Site, site))
+				return
+			}
+			applied, durable, err := l.h.RowBlock(tracker, site, f.Block.Seq, f.Block.Rows)
+			if err != nil {
+				_ = enc.Error(err.Error())
+				return
+			}
+			if err := enc.Ack(Ack{Applied: applied, Durable: durable}); err != nil {
+				return
+			}
+		default:
+			_ = enc.Error(fmt.Sprintf("wire: unexpected %v frame", f.Kind))
+			return
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package wire is the binary transport layer for multi-node deployments:
+// the length-prefixed frame codec plus the persistent-connection pair —
+// SiteConn (site side) and CoordListener (coordinator side) — that
+// cmd/distsite and cmd/distserve speak to each other.
+//
+// # Frames
+//
+// Every frame is a fixed 12-byte header followed by a payload:
+//
+//	magic   uint16  0x5744 ("WD")
+//	version uint8   1
+//	kind    uint8   hello / hello-ack / row-block / ack / msg-block / error
+//	length  uint32  payload bytes
+//	crc     uint32  IEEE CRC-32 of the payload
+//
+// All integers are little-endian. Row-block payloads carry float64 rows
+// bit-for-bit (math.Float64bits), so a decoded block is numerically
+// identical to the encoded one; the decoder reads payloads into pooled
+// buffers and returns views, so the steady-state decode path allocates
+// nothing (//distlint:hotpath on both block codecs).
+//
+// # Sessions, backpressure, and resume
+//
+// A SiteConn dials the coordinator, registers with a Hello frame naming
+// its tracker and site id, and streams numbered row blocks. The
+// coordinator acks applied blocks with two cumulative watermarks:
+//
+//   - applied: every block with seq ≤ applied has been ingested into
+//     tracker state. The site's in-flight window (SendBlock backpressure)
+//     is bounded against this watermark.
+//   - durable: every block with seq ≤ durable is captured by a
+//     coordinator checkpoint. The site retains blocks above this
+//     watermark and retransmits them after a coordinator restart, giving
+//     at-least-once delivery with exactly-once application: the
+//     coordinator drops any seq at or below its applied watermark, and a
+//     restored coordinator resumes from the checkpoint the durable
+//     watermark describes.
+//
+// On a connection failure the SiteConn reconnects with exponential
+// backoff, re-handshakes, and retransmits every retained block above the
+// coordinator's applied watermark. Per-site blocks are applied in
+// sequence order; a gap (seq beyond applied+1) is a protocol error that
+// drops the connection, and the retransmit handshake heals it.
+//
+// The msg-block frame carries batched protocol messages for the
+// internal/node runtime, whose TCP transport runs on this codec (block
+// frames end to end instead of one gob message per row).
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Codec and session errors, matched with errors.Is.
+var (
+	// ErrBadMagic reports a frame header that does not start with the
+	// protocol magic — the peer is not speaking this protocol.
+	ErrBadMagic = errors.New("wire: bad magic")
+
+	// ErrVersion reports a frame from an incompatible protocol version.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+
+	// ErrChecksum reports a payload whose CRC does not match its header.
+	ErrChecksum = errors.New("wire: payload checksum mismatch")
+
+	// ErrFrameTooLarge reports a header announcing a payload beyond
+	// MaxPayload.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+	// ErrMalformed reports a structurally invalid payload.
+	ErrMalformed = errors.New("wire: malformed payload")
+
+	// ErrClosed reports an operation on a closed connection or listener.
+	ErrClosed = errors.New("wire: closed")
+
+	// ErrRejected wraps a coordinator error frame: the remote refused the
+	// session (unknown tracker, bad site) during the handshake.
+	ErrRejected = errors.New("wire: rejected by coordinator")
+)
+
+// Stats counts frames and payload-carrying bytes through one endpoint's
+// encoders and decoders, plus the SiteConn session counters. All fields
+// are atomic; read them at any time.
+type Stats struct {
+	FramesOut atomic.Int64 // frames encoded
+	BytesOut  atomic.Int64 // bytes written, headers included
+	FramesIn  atomic.Int64 // frames decoded
+	BytesIn   atomic.Int64 // bytes read, headers included
+
+	Connects    atomic.Int64 // successful dial+handshake rounds
+	DialErrors  atomic.Int64 // failed dial/handshake attempts
+	Retransmits atomic.Int64 // blocks re-sent after a reconnect
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		FramesOut:   s.FramesOut.Load(),
+		BytesOut:    s.BytesOut.Load(),
+		FramesIn:    s.FramesIn.Load(),
+		BytesIn:     s.BytesIn.Load(),
+		Connects:    s.Connects.Load(),
+		DialErrors:  s.DialErrors.Load(),
+		Retransmits: s.Retransmits.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	FramesOut   int64 `json:"frames_out"`
+	BytesOut    int64 `json:"bytes_out"`
+	FramesIn    int64 `json:"frames_in"`
+	BytesIn     int64 `json:"bytes_in"`
+	Connects    int64 `json:"connects"`
+	DialErrors  int64 `json:"dial_errors"`
+	Retransmits int64 `json:"retransmits"`
+}
+
+func malformedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# Multi-node e2e smoke: a distsite daemon streams row blocks into a
+# distserve coordinator over the binary wire protocol; the coordinator is
+# kill -9'd mid-stream and restarted on the same data directory; the
+# stream must finish over the reconnect and the coordinator's final query
+# must equal the site's local oracle replay bit for bit. Exercises the
+# whole tentpole: framed codec, backpressure window, backoff reconnect,
+# checkpointed watermarks, exactly-once resume.
+#
+# Usage: scripts/e2e_smoke.sh  (run from anywhere inside the repo)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+cleanup() {
+  # shellcheck disable=SC2046  # pids are newline-separated words
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+HTTP_PORT=$((20000 + RANDOM % 20000))
+WIRE_PORT=$((HTTP_PORT + 1))
+HTTP="http://127.0.0.1:$HTTP_PORT"
+TRACKER=smoke
+
+echo "e2e: building daemons"
+(cd "$ROOT" && go build -o "$WORK" ./cmd/distserve ./cmd/distsite)
+
+start_serve() {
+  "$WORK/distserve" -addr "127.0.0.1:$HTTP_PORT" -wire "127.0.0.1:$WIRE_PORT" \
+    -data "$WORK/data" -checkpoint 200ms >>"$WORK/serve.log" 2>&1 &
+  SERVE_PID=$!
+}
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$HTTP/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "e2e: coordinator never became healthy" >&2
+  cat "$WORK/serve.log" >&2
+  return 1
+}
+
+echo "e2e: starting coordinator (http :$HTTP_PORT, wire :$WIRE_PORT)"
+start_serve
+wait_healthy
+
+curl -fsS -X PUT -H 'Content-Type: application/json' \
+  -d '{"kind":"matrix","protocol":"p2","sites":4,"epsilon":0.2,"dim":16}' \
+  "$HTTP/trackers/$TRACKER" >/dev/null
+
+echo "e2e: streaming 4000 rows (125 blocks, paced)"
+"$WORK/distsite" -coord "127.0.0.1:$WIRE_PORT" -http "$HTTP" \
+  -tracker "$TRACKER" -site 1 -rows 4000 -block 32 -pace 10ms -seed 7 \
+  -oracle >"$WORK/oracle.json" 2>>"$WORK/site.log" &
+SITE_PID=$!
+
+# Kill the coordinator mid-stream — hard, no shutdown checkpoint — and
+# restart it on the same data directory. The site reconnects with backoff
+# and resumes from the restored watermark.
+sleep 0.5
+echo "e2e: kill -9 coordinator mid-stream, restarting"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+start_serve
+wait_healthy
+
+if ! wait "$SITE_PID"; then
+  echo "e2e: distsite failed" >&2
+  cat "$WORK/site.log" >&2
+  exit 1
+fi
+
+curl -fsS "$HTTP/trackers/$TRACKER/query" >"$WORK/query.json"
+curl -fsS "$HTTP/metrics" >"$WORK/metrics.json"
+
+# The coordinator's answer must match the oracle replay bit for bit, and
+# /metrics must carry the wire section with per-update network cost.
+cat >"$WORK/check.go" <<'EOF'
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+type doc struct {
+	Count     int64    `json:"count"`
+	Frobenius *float64 `json:"frobenius"`
+	Trace     *float64 `json:"trace"`
+}
+
+func read(path string) doc {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	var d doc
+	if err := json.NewDecoder(f).Decode(&d); err != nil {
+		fmt.Fprintf(os.Stderr, "decoding %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if d.Frobenius == nil || d.Trace == nil {
+		fmt.Fprintf(os.Stderr, "%s is missing frobenius/trace\n", path)
+		os.Exit(1)
+	}
+	return d
+}
+
+func main() {
+	oracle, query := read(os.Args[1]), read(os.Args[2])
+	if oracle.Count != query.Count {
+		fmt.Fprintf(os.Stderr, "count: oracle %d, coordinator %d\n", oracle.Count, query.Count)
+		os.Exit(1)
+	}
+	if math.Float64bits(*oracle.Frobenius) != math.Float64bits(*query.Frobenius) {
+		fmt.Fprintf(os.Stderr, "frobenius: oracle %v, coordinator %v (not bit-identical)\n", *oracle.Frobenius, *query.Frobenius)
+		os.Exit(1)
+	}
+	if math.Float64bits(*oracle.Trace) != math.Float64bits(*query.Trace) {
+		fmt.Fprintf(os.Stderr, "trace: oracle %v, coordinator %v (not bit-identical)\n", *oracle.Trace, *query.Trace)
+		os.Exit(1)
+	}
+	var metrics struct {
+		Wire *struct {
+			NetRows        int64   `json:"net_rows"`
+			BytesPerUpdate float64 `json:"net_bytes_per_update"`
+		} `json:"wire"`
+	}
+	mf, err := os.Open(os.Args[3])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer mf.Close()
+	if err := json.NewDecoder(mf).Decode(&metrics); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if metrics.Wire == nil || metrics.Wire.NetRows == 0 || metrics.Wire.BytesPerUpdate <= 0 {
+		fmt.Fprintf(os.Stderr, "metrics wire section missing or empty: %+v\n", metrics.Wire)
+		os.Exit(1)
+	}
+	fmt.Printf("e2e: query matches oracle bit for bit (count=%d frobenius=%v); wire net_rows=%d bytes/update=%.1f\n",
+		query.Count, *query.Frobenius, metrics.Wire.NetRows, metrics.Wire.BytesPerUpdate)
+}
+EOF
+go run "$WORK/check.go" "$WORK/oracle.json" "$WORK/query.json" "$WORK/metrics.json"
+
+echo "e2e: reconnect evidence:"
+grep -E "reconnect|retrans" "$WORK/site.log" | tail -2 || true
+echo "e2e: PASS"

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hhtrack [-protocol NAME] [-n N] [-sites M] [-eps E] [-phi PHI]
-//	        [-beta B] [-skew S] [-copies C] [-seed SEED]
+//	        [-beta B] [-skew S] [-copies C] [-seed SEED] [-shards P]
 //
 // NAME is any protocol in the registry (see distmat.HHProtocols):
 // p1, p2, p3, p4, p4median, exact.
@@ -36,6 +36,7 @@ func main() {
 		skew     = flag.Float64("skew", 2.0, "Zipf skew")
 		copies   = flag.Int("copies", 3, "independent instances for p4median")
 		seed     = flag.Int64("seed", 1, "random seed")
+		shards   = flag.Int("shards", 0, "parallel tracker shards merged at query time (0/1 = unsharded)")
 	)
 	flag.StringVar(protocol, "proto", *protocol, protoHelp+" (alias of -protocol)")
 	flag.Parse()
@@ -51,6 +52,7 @@ func main() {
 		distmat.WithEpsilon(*eps),
 		distmat.WithSeed(*seed+1),
 		distmat.WithCopies(*copies),
+		distmat.WithShards(*shards),
 		distmat.WithAssigner(distmat.NewUniformRandom(*m, *seed+2)))
 	if err != nil {
 		if errors.Is(err, distmat.ErrUnknownProtocol) {
@@ -59,6 +61,7 @@ func main() {
 		}
 		log.Fatal(err)
 	}
+	defer sess.Close()
 	if err := sess.ProcessItems(items); err != nil {
 		log.Fatalf("ingest: %v", err)
 	}
@@ -76,6 +79,9 @@ func main() {
 	snap := sess.Snapshot()
 
 	fmt.Printf("protocol       %s (ε=%g, m=%d)\n", p.Name(), *eps, *m)
+	if sess.Shards() > 1 {
+		fmt.Printf("shards         %d (items per shard: %v)\n", sess.Shards(), sess.ShardRows())
+	}
 	fmt.Printf("stream         N=%d Zipf(skew=%g) weights Unif[1,%g] W=%.6g\n",
 		len(items), *skew, *beta, exact.EstimateTotal())
 	fmt.Printf("true %g-HHs    %d\n", *phi, len(truth))

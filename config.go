@@ -40,17 +40,20 @@ type Config struct {
 	// alongside the protocol's approximation, for evaluation. Costs O(d²)
 	// per row.
 	TrackExact bool
-	// Shards, when > 1, runs a matrix tracker as P parallel shards merged
-	// at query time (core.ShardedTracker): ingestion blocks are dealt
-	// round-robin to P worker goroutines, each owning a private tracker
-	// instance, and queries merge the shard Grams — the covariance
-	// guarantee still holds at every query because the per-shard error
-	// bounds add. Results are deterministic for a fixed Seed and shard
-	// count but DO depend on Shards (each P partitions the stream
-	// differently); randomized shard protocols use Seed+shardIndex.
-	// Message tallies sum across shards, so communication grows by up to
-	// P×. 0 or 1 is the single-tracker path; heavy-hitters, quantile, and
-	// windowed sessions reject Shards > 1 with ErrNotShardable.
+	// Shards, when > 1, runs the tracker as P parallel shards merged at
+	// query time: ingestion blocks are dealt round-robin to P worker
+	// goroutines, each owning a private tracker instance, and queries
+	// merge the shard summaries. Matrix trackers merge shard Grams
+	// (core.ShardedTracker); heavy-hitters and quantile trackers merge
+	// their mergeable coordinator summaries (hh.Sharded,
+	// quantile.Sharded). The guarantee holds at every query because the
+	// per-shard error bounds add: Σ ε·W_k = εW. Results are deterministic
+	// for a fixed Seed and shard count but DO depend on Shards (each P
+	// partitions the stream differently); randomized shard protocols use
+	// Seed+shardIndex. Message tallies sum across shards, so communication
+	// grows by up to P×. 0 or 1 is the single-tracker path; only windowed
+	// sessions still reject Shards > 1 with ErrNotShardable (sub-window
+	// boundaries are counted per shard).
 	Shards int
 	// FastIngest switches the matrix protocols that support it (p1, p2,
 	// p2small) to the blocked fast ingest mode: batch ingestion folds whole
@@ -106,9 +109,10 @@ func WithBits(bits uint) Option { return func(c *Config) { c.Bits = bits } }
 // via the tumbling-window construction.
 func WithWindow(window int) Option { return func(c *Config) { c.Window = window } }
 
-// WithShards runs a matrix tracker as p parallel shards merged at query
-// time (see Config.Shards). Combine with WithFastIngest for the
-// highest-throughput configuration: P blocked pipelines across cores.
+// WithShards runs the tracker — matrix, heavy-hitters, or quantile — as p
+// parallel shards merged at query time (see Config.Shards). For matrix
+// sessions, combine with WithFastIngest for the highest-throughput
+// configuration: P blocked pipelines across cores.
 func WithShards(p int) Option { return func(c *Config) { c.Shards = p } }
 
 // WithExactTracking makes a matrix Session maintain the exact Gram AᵀA for
@@ -161,14 +165,23 @@ func (c Config) validateMatrix() error {
 			return invalidConfig(err)
 		}
 	}
+	if err := c.checkShardRange(); err != nil {
+		return err
+	}
+	if c.Shards > 1 && c.Window > 0 {
+		return notShardablef("windowed sessions count sub-window boundaries per shard; drop WithShards or WithWindow")
+	}
+	return nil
+}
+
+// checkShardRange validates the Shards field's numeric range, shared by
+// every kind (whether a kind supports sharding at all is its own check).
+func (c Config) checkShardRange() error {
 	if c.Shards < 0 {
 		return invalidConfigf("need shards ≥ 0, got %d", c.Shards)
 	}
 	if c.Shards > MaxShards {
 		return invalidConfigf("need shards ≤ %d, got %d", MaxShards, c.Shards)
-	}
-	if c.Shards > 1 && c.Window > 0 {
-		return notShardablef("windowed sessions count sub-window boundaries per shard; drop WithShards or WithWindow")
 	}
 	return nil
 }
@@ -181,10 +194,7 @@ func (c Config) validateHH() error {
 	if err := hh.CheckCopies(c.Copies); err != nil {
 		return invalidConfig(err)
 	}
-	if c.Shards > 1 {
-		return notShardablef("heavy-hitters protocols have no cross-shard merge; drop WithShards")
-	}
-	return nil
+	return c.checkShardRange()
 }
 
 // validateQuantile checks the fields the quantile tracker consumes.
@@ -192,8 +202,5 @@ func (c Config) validateQuantile() error {
 	if err := quantile.CheckParams(c.Sites, c.Epsilon, c.Bits); err != nil {
 		return invalidConfig(err)
 	}
-	if c.Shards > 1 {
-		return notShardablef("quantile tracking has no cross-shard merge; drop WithShards")
-	}
-	return nil
+	return c.checkShardRange()
 }

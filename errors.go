@@ -40,12 +40,12 @@ var (
 	ErrSessionClosed = errors.New("distmat: session is closed")
 
 	// ErrNotShardable reports a configuration that cannot run sharded
-	// (Config.Shards > 1): heavy-hitters and quantile sessions (their
-	// single-core tallies already outrun the matrix hot path by orders of
-	// magnitude, and no cross-shard merge is provided for their coordinator
-	// summaries), and windowed matrix sessions (sub-window boundaries are
-	// counted per shard, so sharding would break the coverage guarantee).
-	// Matrix sessions shard through merge-on-query Gram addition.
+	// (Config.Shards > 1). Only windowed matrix sessions remain
+	// unshardable: sub-window boundaries are counted per shard, so
+	// sharding would break the coverage guarantee. Matrix sessions shard
+	// through merge-on-query Gram addition; heavy-hitters and quantile
+	// sessions through merge-on-query summary accumulation (their
+	// per-shard εW_k bounds sum to εW).
 	ErrNotShardable = errors.New("distmat: configuration is not shardable")
 
 	// ErrNotPersistable reports a session whose state cannot be saved:

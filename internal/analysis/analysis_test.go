@@ -29,7 +29,8 @@ func TestWorkerLifecycle(t *testing.T) {
 
 // TestSuiteScoping pins the driver's package scoping: directive-driven
 // analyzers run everywhere, errcontract only on the facade and service,
-// workerlifecycle only on core and service.
+// workerlifecycle only on the worker-spawning packages (core, hh,
+// quantile, service, wire).
 func TestSuiteScoping(t *testing.T) {
 	names := func(as []*lintkit.Analyzer) map[string]bool {
 		m := map[string]bool{}
@@ -46,6 +47,9 @@ func TestSuiteScoping(t *testing.T) {
 		{"repro", true, false},
 		{"repro/internal/service", true, true},
 		{"repro/internal/core", false, true},
+		{"repro/internal/hh", false, true},
+		{"repro/internal/quantile", false, true},
+		{"repro/internal/wire", false, true},
 		{"repro/internal/matrix", false, false},
 		{"repro/internal/sketch", false, false},
 	} {

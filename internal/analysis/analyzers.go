@@ -20,8 +20,8 @@ func All() []*lintkit.Analyzer {
 // aliasing) run everywhere — they only fire where annotations exist.
 // ErrContract is scoped to the public facade and the service layer, whose
 // error-handling conventions it encodes; WorkerLifecycle is scoped to the
-// packages that spawn long-lived worker goroutines (ingest shards, the
-// wire transport's connection managers and listeners).
+// packages that spawn long-lived worker goroutines (matrix and item ingest
+// shards, the wire transport's connection managers and listeners).
 func Suite(pkgPath string) []*lintkit.Analyzer {
 	suite := []*lintkit.Analyzer{HotPathAlloc, MutexGuard, SnapshotPurity}
 	switch pkgPath {
@@ -29,7 +29,8 @@ func Suite(pkgPath string) []*lintkit.Analyzer {
 		suite = append(suite, ErrContract)
 	}
 	switch pkgPath {
-	case "repro/internal/core", "repro/internal/service", "repro/internal/wire":
+	case "repro/internal/core", "repro/internal/hh", "repro/internal/quantile",
+		"repro/internal/service", "repro/internal/wire":
 		suite = append(suite, WorkerLifecycle)
 	}
 	return suite

@@ -82,6 +82,30 @@ func (r *Runner) IngestBench() ([]IngestResult, error) {
 		out = append(out, ingestResult("heavy-hitters", proto, sess, len(items), time.Since(start)))
 	}
 
+	// The sharded counterpart of the p2 item entry: the same protocol
+	// behind a 4-shard merge-on-query wrapper, fed the identical item
+	// stream. TestShardedItemSpeedupGuard enforces the multi-core floor in
+	// make perf-guard; the timed section ends at a Stats() barrier so
+	// in-flight shard chunks are counted.
+	{
+		const shardCount = 4
+		sess, err := distmat.NewHHSession("p2",
+			distmat.WithSites(cfg.Sites), distmat.WithEpsilon(0.01),
+			distmat.WithSeed(cfg.Seed), distmat.WithShards(shardCount))
+		if err != nil {
+			return nil, err
+		}
+		defer sess.Close()
+		start := time.Now()
+		if err := sess.ProcessItems(items); err != nil {
+			return nil, err
+		}
+		sess.Stats() // merge barrier: every dealt chunk applied
+		res := ingestResult("heavy-hitters", "p2-sharded", sess, len(items), time.Since(start))
+		res.Shards = shardCount
+		out = append(out, res)
+	}
+
 	const matDim = 44
 	for _, proto := range []string{"p1", "p2"} {
 		sess, err := distmat.NewMatrixSession(proto,
@@ -229,6 +253,30 @@ func (r *Runner) IngestBench() ([]IngestResult, error) {
 		return nil, err
 	}
 	out = append(out, ingestResult("quantile", "qdigest", qsess, len(qitems), time.Since(start)))
+
+	// The sharded quantile counterpart: the same q-digest tracker behind a
+	// 4-shard merge-on-query wrapper fed the identical capped-universe item
+	// stream, timed through the same Stats() barrier as the other sharded
+	// entries.
+	{
+		const shardCount = 4
+		qs, err := distmat.NewQuantileSession(
+			distmat.WithSites(cfg.Sites), distmat.WithEpsilon(0.05),
+			distmat.WithBits(16), distmat.WithSeed(cfg.Seed),
+			distmat.WithShards(shardCount))
+		if err != nil {
+			return nil, err
+		}
+		defer qs.Close()
+		start = time.Now()
+		if err := qs.ProcessItems(qitems); err != nil {
+			return nil, err
+		}
+		qs.Stats() // merge barrier: every dealt chunk applied
+		res := ingestResult("quantile", "qdigest-sharded", qs, len(qitems), time.Since(start))
+		res.Shards = shardCount
+		out = append(out, res)
+	}
 
 	return out, nil
 }

@@ -58,6 +58,55 @@ func TestMatchIngestResultsToleratesOlderArtifacts(t *testing.T) {
 	}
 }
 
+// TestMatchIngestItemShardedEntries covers the item-sharding BENCH
+// entries (heavy-hitters p2-sharded, quantile qdigest-sharded) against
+// artifacts predating them: on first appearance both report as added —
+// they never fall back onto the unsharded baselines, whose shard count
+// differs — and once an artifact carries them they pair by full key.
+func TestMatchIngestItemShardedEntries(t *testing.T) {
+	hhSharded := IngestResult{Problem: "heavy-hitters", Protocol: "p2-sharded", Shards: 4, RowsPerSec: 9000}
+	qSharded := IngestResult{Problem: "quantile", Protocol: "qdigest-sharded", Shards: 4, RowsPerSec: 7000}
+	olds := []IngestResult{
+		{Problem: "heavy-hitters", Protocol: "p2", RowsPerSec: 4000},
+		{Problem: "quantile", Protocol: "qdigest", RowsPerSec: 3000},
+	}
+	news := []IngestResult{
+		{Problem: "heavy-hitters", Protocol: "p2", RowsPerSec: 4100},
+		hhSharded,
+		{Problem: "quantile", Protocol: "qdigest", RowsPerSec: 3100},
+		qSharded,
+	}
+	pairs, removed := MatchIngestResults(olds, news)
+	if len(removed) != 0 {
+		t.Fatalf("removed = %+v, want none", removed)
+	}
+	if p := pairs[1]; p.HasOld {
+		t.Errorf("hh sharded vs pre-sharding artifact: pair = %+v, want added", p)
+	}
+	if p := pairs[3]; p.HasOld {
+		t.Errorf("quantile sharded vs pre-sharding artifact: pair = %+v, want added", p)
+	}
+	// The unsharded baselines still pair cleanly alongside.
+	if p := pairs[0]; !p.HasOld || p.Old.RowsPerSec != 4000 {
+		t.Errorf("hh unsharded: pair = %+v, want matched", p)
+	}
+	if p := pairs[2]; !p.HasOld || p.Old.RowsPerSec != 3000 {
+		t.Errorf("quantile unsharded: pair = %+v, want matched", p)
+	}
+
+	// Second generation: the sharded entries pair with themselves by full
+	// key, note-free.
+	pairs, removed = MatchIngestResults(news, news)
+	if len(removed) != 0 {
+		t.Fatalf("self-match removed = %+v, want none", removed)
+	}
+	for i, p := range pairs {
+		if !p.HasOld || p.Note != "" {
+			t.Errorf("self-match pair %d = %+v, want clean full-key match", i, p)
+		}
+	}
+}
+
 // TestIngestNetColumnsAlignmentAndJSON pins the wire entry's contract:
 // the network columns ride along without entering the alignment identity
 // — a p2-wire entry pairs by (problem, protocol, mode, shards) exactly

@@ -66,11 +66,6 @@ func (e *Exact) TrueHeavyHitters(phi float64) []sketch.WeightedElement {
 			out = append(out, sketch.WeightedElement{Elem: el, Weight: w})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Weight != out[j].Weight {
-			return out[i].Weight > out[j].Weight
-		}
-		return out[i].Elem < out[j].Elem
-	})
+	sketch.SortByWeightDesc(out)
 	return out
 }

@@ -15,7 +15,6 @@ package hh
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/gen"
 	"repro/internal/sketch"
@@ -58,12 +57,7 @@ func HeavyHitters(p Protocol, phi float64) []sketch.WeightedElement {
 			out = append(out, c)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Weight != out[j].Weight {
-			return out[i].Weight > out[j].Weight
-		}
-		return out[i].Elem < out[j].Elem
-	})
+	sketch.SortByWeightDesc(out)
 	return out
 }
 

@@ -3,6 +3,7 @@ package hh
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/stream"
 )
 
@@ -116,4 +117,115 @@ func RestoreExact(snap ExactSnapshot) (*Exact, error) {
 	e.total = snap.Total
 	e.acct.RestoreStats(snap.Stats)
 	return e, nil
+}
+
+// ShardedP2Snapshot is the serializable state of a sharded P2 tracker:
+// every shard's full snapshot plus the deal cursor and per-shard item
+// tallies, so a restored tracker deals the next block to the same shard
+// the saved one would have.
+type ShardedP2Snapshot struct {
+	Shards []P2Snapshot
+	Next   int
+	Items  []int64
+}
+
+// SnapshotSharded captures a sharded P2 tracker. It flushes first (without
+// re-raising shard panics — a poisoned tracker yields an error here, not a
+// crashed checkpointer) and errors unless every shard is a snapshotable
+// P2 instance.
+func SnapshotSharded(s *Sharded) (ShardedP2Snapshot, error) {
+	if r := s.FlushErr(); r != nil {
+		return ShardedP2Snapshot{}, fmt.Errorf("hh: sharded tracker failed during ingest: %v", r)
+	}
+	shards := make([]P2Snapshot, s.ShardCount())
+	for i := range shards {
+		p2, ok := s.Shard(i).(*P2)
+		if !ok {
+			return ShardedP2Snapshot{}, fmt.Errorf("hh: shard %d is %s, not a persistable P2", i, s.Shard(i).Name())
+		}
+		snap, err := p2.Snapshot()
+		if err != nil {
+			return ShardedP2Snapshot{}, fmt.Errorf("hh: shard %d: %w", i, err)
+		}
+		shards[i] = snap
+	}
+	return ShardedP2Snapshot{Shards: shards, Next: s.st.DealCursor(), Items: s.ShardItems()}, nil
+}
+
+// RestoreSharded rebuilds a sharded P2 tracker from a snapshot, rejecting
+// cross-shard parameter disagreement with a wrapped ErrMergeMismatch — the
+// merge boundary returns errors rather than letting a corrupted snapshot
+// panic the first query.
+func RestoreSharded(snap ShardedP2Snapshot) (*Sharded, error) {
+	if err := core.CheckShards(len(snap.Shards)); err != nil {
+		return nil, fmt.Errorf("hh: sharded snapshot: %w", err)
+	}
+	protos := make([]Protocol, len(snap.Shards))
+	for i, ss := range snap.Shards {
+		if ss.M != snap.Shards[0].M || ss.Eps != snap.Shards[0].Eps {
+			return nil, fmt.Errorf("hh: sharded snapshot shard %d has (m=%d, eps=%v), shard 0 has (m=%d, eps=%v): %w",
+				i, ss.M, ss.Eps, snap.Shards[0].M, snap.Shards[0].Eps, ErrMergeMismatch)
+		}
+		p2, err := RestoreP2(ss)
+		if err != nil {
+			return nil, fmt.Errorf("hh: sharded snapshot shard %d: %w", i, err)
+		}
+		protos[i] = p2
+	}
+	s := newShardedFromProtocols(snap.Shards[0].M, protos)
+	if err := s.st.RestoreDeal(snap.Next, snap.Items); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("hh: %w", err)
+	}
+	return s, nil
+}
+
+// ShardedExactSnapshot is the serializable state of a sharded exact
+// tracker (shard snapshots + deal cursor, as for ShardedP2Snapshot).
+type ShardedExactSnapshot struct {
+	Shards []ExactSnapshot
+	Next   int
+	Items  []int64
+}
+
+// SnapshotShardedExact captures a sharded exact tracker, flushing first
+// without re-raising shard panics.
+func SnapshotShardedExact(s *Sharded) (ShardedExactSnapshot, error) {
+	if r := s.FlushErr(); r != nil {
+		return ShardedExactSnapshot{}, fmt.Errorf("hh: sharded tracker failed during ingest: %v", r)
+	}
+	shards := make([]ExactSnapshot, s.ShardCount())
+	for i := range shards {
+		ex, ok := s.Shard(i).(*Exact)
+		if !ok {
+			return ShardedExactSnapshot{}, fmt.Errorf("hh: shard %d is %s, not an exact tracker", i, s.Shard(i).Name())
+		}
+		shards[i] = ex.Snapshot()
+	}
+	return ShardedExactSnapshot{Shards: shards, Next: s.st.DealCursor(), Items: s.ShardItems()}, nil
+}
+
+// RestoreShardedExact rebuilds a sharded exact tracker from a snapshot.
+func RestoreShardedExact(snap ShardedExactSnapshot) (*Sharded, error) {
+	if err := core.CheckShards(len(snap.Shards)); err != nil {
+		return nil, fmt.Errorf("hh: sharded snapshot: %w", err)
+	}
+	protos := make([]Protocol, len(snap.Shards))
+	for i, ss := range snap.Shards {
+		if ss.M != snap.Shards[0].M {
+			return nil, fmt.Errorf("hh: sharded snapshot shard %d has m=%d, shard 0 has m=%d: %w",
+				i, ss.M, snap.Shards[0].M, ErrMergeMismatch)
+		}
+		ex, err := RestoreExact(ss)
+		if err != nil {
+			return nil, fmt.Errorf("hh: sharded snapshot shard %d: %w", i, err)
+		}
+		protos[i] = ex
+	}
+	s := newShardedFromProtocols(snap.Shards[0].M, protos)
+	if err := s.st.RestoreDeal(snap.Next, snap.Items); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("hh: %w", err)
+	}
+	return s, nil
 }

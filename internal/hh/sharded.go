@@ -1,0 +1,269 @@
+package hh
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// ErrMergeMismatch is the sentinel for shard summaries whose parameters
+// disagree (different MG capacities, q-digest universes, ...). It can only
+// arise from a corrupted or hand-assembled snapshot — shards built by one
+// builder always agree — so the tracker-level merge surfaces return it
+// wrapped rather than panicking, keeping a daemon restoring a bad
+// checkpoint alive.
+var ErrMergeMismatch = errors.New("hh: shard summary parameters mismatch")
+
+// MergedSummary is the query-time union of shard coordinator states. Shards
+// contribute through AccumulateInto (protocols with mergeable coordinator
+// summaries) or the Candidates fallback; queries read the combined view.
+//
+// The merged bound is the mergeable-summaries argument (Agarwal et al.,
+// PODS 2012): shard k tracks its substream with error ≤ ε·W_k, the
+// summary merge adds errors, and Σ ε·W_k = εW — so the merged view obeys
+// the same |f_e − Ŵ_e| ≤ εW contract as an unsharded tracker.
+type MergedSummary struct {
+	mg       *sketch.MG // mergeable-summary path (P1); nil until first use
+	estimate map[uint64]float64
+	total    float64
+}
+
+// NewMergedSummary returns an empty accumulation target.
+func NewMergedSummary() *MergedSummary {
+	return &MergedSummary{estimate: make(map[uint64]float64)}
+}
+
+// AddEstimate folds one element estimate into the view.
+func (a *MergedSummary) AddEstimate(elem uint64, w float64) { a.estimate[elem] += w }
+
+// AddTotal folds one shard's total-weight estimate into the view.
+func (a *MergedSummary) AddTotal(w float64) { a.total += w }
+
+// MergeMG folds one shard's coordinator MG summary into the view's own MG,
+// returning ErrMergeMismatch (wrapped) if the capacities disagree.
+func (a *MergedSummary) MergeMG(m *sketch.MG) error {
+	if a.mg == nil {
+		a.mg = sketch.NewMG(m.K())
+	} else if a.mg.K() != m.K() {
+		return fmt.Errorf("merging MG(k=%d) into MG(k=%d): %w", m.K(), a.mg.K(), ErrMergeMismatch)
+	}
+	a.mg.Merge(m)
+	return nil
+}
+
+// Estimate returns the merged Ŵ_e.
+func (a *MergedSummary) Estimate(elem uint64) float64 {
+	v := a.estimate[elem]
+	if a.mg != nil {
+		v += a.mg.Estimate(elem)
+	}
+	return v
+}
+
+// Total returns the merged Ŵ.
+func (a *MergedSummary) Total() float64 { return a.total }
+
+// Candidates returns every element the merged view tracks, in the
+// repository's canonical weight-desc/elem-asc order.
+func (a *MergedSummary) Candidates() []sketch.WeightedElement {
+	var mgCands []sketch.WeightedElement
+	if a.mg != nil {
+		mgCands = a.mg.HeavyHitters(0)
+	}
+	out := make([]sketch.WeightedElement, 0, len(a.estimate)+len(mgCands))
+	for _, c := range mgCands {
+		if w := a.estimate[c.Elem]; w != 0 {
+			c.Weight += w
+		}
+		out = append(out, c)
+	}
+	for e, w := range a.estimate {
+		if a.mg != nil && a.mg.Estimate(e) != 0 {
+			continue // already emitted with the MG candidates
+		}
+		out = append(out, sketch.WeightedElement{Elem: e, Weight: w})
+	}
+	sketch.SortByWeightDesc(out)
+	return out
+}
+
+// Merger is the tracker-level merge surface: protocols whose coordinator
+// state folds losslessly into a MergedSummary implement it (P1 merges its
+// coordinator MG, P2 and Exact add their estimate maps). Protocols without
+// it — the randomized P3/P4 family, whose coordinator state is not a
+// mergeable summary — fall back to Candidates()+EstimateTotal(), which
+// preserves the εW bound all the same: each shard's candidate estimates
+// carry that shard's error, and addition over shards sums both weight and
+// error.
+type Merger interface {
+	AccumulateInto(acc *MergedSummary) error
+}
+
+// AccumulateInto implements Merger for P1: the coordinator MG merges via
+// the mergeable-summaries rule and the tally adds.
+func (p *P1) AccumulateInto(acc *MergedSummary) error {
+	if err := acc.MergeMG(p.merged); err != nil {
+		return fmt.Errorf("hh: P1 accumulate: %w", err)
+	}
+	acc.AddTotal(p.tally)
+	return nil
+}
+
+// AccumulateInto implements Merger for P2: the coordinator estimate map
+// and running total add. Each shard's coordWhat starts from the protocol's
+// initial lower bound of 1, so the merged total overcounts by P−1 — within
+// the εW slack for any non-trivial stream, exactly as the unsharded
+// protocol's own initial bound is.
+func (p *P2) AccumulateInto(acc *MergedSummary) error {
+	for e, w := range p.estimate {
+		acc.AddEstimate(e, w)
+	}
+	acc.AddTotal(p.coordWhat)
+	return nil
+}
+
+// AccumulateInto implements Merger for Exact: frequencies and totals add,
+// keeping the merged view exact.
+func (e *Exact) AccumulateInto(acc *MergedSummary) error {
+	for el, w := range e.freq {
+		acc.AddEstimate(el, w)
+	}
+	acc.AddTotal(e.total)
+	return nil
+}
+
+// Accumulate folds one shard protocol into acc, via Merger when the
+// protocol has one and the Candidates fallback otherwise.
+func Accumulate(p Protocol, acc *MergedSummary) error {
+	if m, ok := p.(Merger); ok {
+		return m.AccumulateInto(acc)
+	}
+	for _, c := range p.Candidates() {
+		acc.AddEstimate(c.Elem, c.Weight)
+	}
+	acc.AddTotal(p.EstimateTotal())
+	return nil
+}
+
+// Sharded runs P independent copies of a protocol, dealing the stream
+// across them with core.ShardedItemTracker and answering queries from the
+// merged coordinator view. It implements Protocol, so everything built on
+// the interface (HeavyHitters, the session facade, the service layer)
+// works unchanged; the error contract is the merged bound argued on
+// MergedSummary. Communication tallies sum over shards, so Stats can grow
+// by up to a factor of P versus one tracker on the same stream.
+//
+// Like the unsharded protocols, a Sharded tracker is driven by one
+// goroutine at a time. Queries flush (merge barrier) first; Close stops
+// the shard workers.
+type Sharded struct {
+	m    int
+	eps  float64
+	name string
+	st   *core.ShardedItemTracker
+}
+
+// NewSharded builds a sharded tracker over p shard protocols for m sites,
+// produced by build (called once per shard index; randomized protocols
+// should derive per-shard seeds from it). All shards must come from the
+// same constructor with the same parameters.
+func NewSharded(p, m int, build func(shard int) Protocol) *Sharded {
+	protos := make([]Protocol, p)
+	st := core.NewShardedItemTracker(p, m, func(shard int) core.ItemShard {
+		protos[shard] = build(shard)
+		return protos[shard]
+	})
+	return &Sharded{m: m, eps: protos[0].Eps(), name: protos[0].Name(), st: st}
+}
+
+// newShardedFromProtocols wires restored shard protocols back into the
+// deal machinery (the snapshot restore path).
+func newShardedFromProtocols(m int, protos []Protocol) *Sharded {
+	st := core.NewShardedItemTracker(len(protos), m, func(shard int) core.ItemShard {
+		return protos[shard]
+	})
+	return &Sharded{m: m, eps: protos[0].Eps(), name: protos[0].Name(), st: st}
+}
+
+// Name implements Protocol: the shard protocol's name (the sharding is an
+// execution strategy, not a different protocol).
+func (s *Sharded) Name() string { return s.name }
+
+// Eps implements Protocol: the merged view keeps the shard ε (summed
+// per-shard bounds telescope to εW, see MergedSummary).
+func (s *Sharded) Eps() float64 { return s.eps }
+
+// Sites returns the site count m.
+func (s *Sharded) Sites() int { return s.m }
+
+// Process implements Protocol, dealing one item to the shard workers.
+func (s *Sharded) Process(site int, elem uint64, w float64) {
+	s.st.Process(site, elem, w)
+}
+
+// ProcessItems deals a validated same-site batch across the shard workers;
+// the batch is validated atomically before anything is enqueued and the
+// caller keeps ownership of the slice.
+func (s *Sharded) ProcessItems(site int, items []gen.WeightedItem) {
+	s.st.ProcessItems(site, items)
+}
+
+// merged flushes and folds every shard into a fresh MergedSummary. A
+// parameter mismatch is impossible for builder-constructed shards and
+// rejected during snapshot restore, so a failure here is a program bug and
+// panics with the wrapped error.
+func (s *Sharded) merged() *MergedSummary {
+	s.st.Flush()
+	acc := NewMergedSummary()
+	for i := 0; i < s.st.ShardCount(); i++ {
+		if err := Accumulate(s.st.Shard(i).(Protocol), acc); err != nil {
+			panic(err)
+		}
+	}
+	return acc
+}
+
+// Estimate implements Protocol from the merged view.
+func (s *Sharded) Estimate(elem uint64) float64 { return s.merged().Estimate(elem) }
+
+// EstimateTotal implements Protocol from the merged view.
+func (s *Sharded) EstimateTotal() float64 { return s.merged().Total() }
+
+// Candidates implements Protocol from the merged view, in the canonical
+// weight-desc/elem-asc order.
+func (s *Sharded) Candidates() []sketch.WeightedElement { return s.merged().Candidates() }
+
+// Stats implements Protocol: a flush barrier, then the summed shard
+// tallies.
+func (s *Sharded) Stats() stream.Stats { return s.st.Stats() }
+
+// StatsApplied returns the summed shard tallies without the flush barrier
+// (the monitoring read; may trail enqueued work).
+func (s *Sharded) StatsApplied() stream.Stats { return s.st.StatsApplied() }
+
+// Flush waits until every dealt item has been applied, re-raising any
+// shard panic in the caller.
+func (s *Sharded) Flush() { s.st.Flush() }
+
+// FlushErr is the non-panicking barrier for checkpointers: it returns the
+// first shard panic instead of re-raising it.
+func (s *Sharded) FlushErr() any { return s.st.FlushErr() }
+
+// Close flushes and stops the shard workers; queries keep working,
+// further ingestion panics. Idempotent.
+func (s *Sharded) Close() { s.st.Close() }
+
+// ShardCount returns P.
+func (s *Sharded) ShardCount() int { return s.st.ShardCount() }
+
+// ShardItems returns the per-shard dealt item counts (the /metrics view).
+func (s *Sharded) ShardItems() []int64 { return s.st.ShardItems() }
+
+// Shard returns shard i's protocol, for snapshotting after a flush.
+func (s *Sharded) Shard(i int) Protocol { return s.st.Shard(i).(Protocol) }
+
+var _ Protocol = (*Sharded)(nil)

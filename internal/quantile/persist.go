@@ -3,6 +3,7 @@ package quantile
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/stream"
 )
 
@@ -131,4 +132,56 @@ func RestoreTracker(snap TrackerSnapshot) (*Tracker, error) {
 	}
 	t.acct.RestoreStats(snap.Stats)
 	return t, nil
+}
+
+// ShardedTrackerSnapshot is the serializable state of a sharded quantile
+// tracker: every shard's full snapshot plus the deal cursor and per-shard
+// item tallies, so a restored tracker deals the next block to the same
+// shard the saved one would have.
+type ShardedTrackerSnapshot struct {
+	Shards []TrackerSnapshot
+	Next   int
+	Items  []int64
+}
+
+// SnapshotSharded captures a sharded tracker. It flushes first without
+// re-raising shard panics — a poisoned tracker yields an error here, not
+// a crashed checkpointer.
+func SnapshotSharded(s *Sharded) (ShardedTrackerSnapshot, error) {
+	if r := s.FlushErr(); r != nil {
+		return ShardedTrackerSnapshot{}, fmt.Errorf("quantile: sharded tracker failed during ingest: %v", r)
+	}
+	shards := make([]TrackerSnapshot, s.ShardCount())
+	for i := range shards {
+		shards[i] = s.Shard(i).Snapshot()
+	}
+	return ShardedTrackerSnapshot{Shards: shards, Next: s.st.DealCursor(), Items: s.ShardItems()}, nil
+}
+
+// RestoreSharded rebuilds a sharded tracker from a snapshot, rejecting
+// cross-shard parameter disagreement with a wrapped ErrMergeMismatch — the
+// merge boundary returns errors rather than letting a corrupted snapshot
+// panic the first query.
+func RestoreSharded(snap ShardedTrackerSnapshot) (*Sharded, error) {
+	if err := core.CheckShards(len(snap.Shards)); err != nil {
+		return nil, fmt.Errorf("quantile: sharded snapshot: %w", err)
+	}
+	trackers := make([]*Tracker, len(snap.Shards))
+	for i, ts := range snap.Shards {
+		if ts.M != snap.Shards[0].M || ts.Eps != snap.Shards[0].Eps || ts.Bits != snap.Shards[0].Bits {
+			return nil, fmt.Errorf("quantile: sharded snapshot shard %d has (m=%d, eps=%v, bits=%d), shard 0 has (m=%d, eps=%v, bits=%d): %w",
+				i, ts.M, ts.Eps, ts.Bits, snap.Shards[0].M, snap.Shards[0].Eps, snap.Shards[0].Bits, ErrMergeMismatch)
+		}
+		t, err := RestoreTracker(ts)
+		if err != nil {
+			return nil, fmt.Errorf("quantile: sharded snapshot shard %d: %w", i, err)
+		}
+		trackers[i] = t
+	}
+	s := newShardedFromTrackers(snap.Shards[0].M, trackers)
+	if err := s.st.RestoreDeal(snap.Next, snap.Items); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("quantile: %w", err)
+	}
+	return s, nil
 }

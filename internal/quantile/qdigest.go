@@ -210,16 +210,27 @@ func (q *QDigest) RankBounds(v uint64) (lo, hi float64) {
 
 // Merge folds other into q. Both digests must share bits; the error
 // parameters add in the usual mergeable-summary sense (each digest's
-// compression debt is bounded by its own εW share).
+// compression debt is bounded by its own εW share). The sketch-level merge
+// panics on a universe mismatch like every other invalid-argument path in
+// this package; Tracker.AccumulateInto is the error-returning boundary the
+// service-reachable shard merges go through.
 func (q *QDigest) Merge(other *QDigest) {
 	if q.bits != other.bits {
 		panic(fmt.Sprintf("quantile: merge digests with bits %d and %d", other.bits, q.bits))
 	}
+	q.absorb(other)
+	q.Compress()
+}
+
+// absorb adds other's nodes and weight without compressing. The sharded
+// merged query view uses it directly so a one-shard tracker's view is
+// node-for-node identical to the shard's own digest (compressing here
+// would add fresh compression debt the unsharded tracker doesn't have).
+func (q *QDigest) absorb(other *QDigest) {
 	for n, c := range other.counts {
 		q.counts[n] += c
 	}
 	q.weight += other.weight
-	q.Compress()
 }
 
 // Reset clears the digest.

@@ -47,7 +47,9 @@ func CheckParams(m int, eps float64, bits uint) error {
 // value universe [0, 2^bits).
 func NewTracker(m int, eps float64, bits uint) *Tracker {
 	if err := CheckParams(m, eps, bits); err != nil {
-		panic(err.Error())
+		// Panic with the error value itself so a recovering caller keeps
+		// the wrapped chain (errors.Is still works on the recovered value).
+		panic(err)
 	}
 	t := &Tracker{
 		m:      m,
@@ -112,3 +114,22 @@ func (t *Tracker) EstimateTotal() float64 { return t.tally }
 
 // Stats returns the communication tally.
 func (t *Tracker) Stats() stream.Stats { return t.acct.Stats() }
+
+// Bits returns the universe size exponent.
+func (t *Tracker) Bits() uint { return t.bits }
+
+// AccumulateInto is the tracker-level merge surface: it folds the
+// coordinator digest into dst (without compressing, so a one-shard merge
+// is node-identical to the shard's own digest) and returns the
+// coordinator tally. A universe mismatch returns a wrapped
+// ErrMergeMismatch instead of panicking — this is the boundary
+// service-reachable shard merges cross, and a daemon restoring a bad
+// checkpoint must survive it.
+func (t *Tracker) AccumulateInto(dst *QDigest) (tally float64, err error) {
+	if dst.bits != t.bits {
+		return 0, fmt.Errorf("quantile: accumulating digest with bits %d into bits %d: %w",
+			t.bits, dst.bits, ErrMergeMismatch)
+	}
+	dst.absorb(t.merged)
+	return t.tally, nil
+}

@@ -119,14 +119,14 @@ func (m *Manager) Create(name string, spec Spec) (*Tracker, error) {
 	spec.Sites, spec.Epsilon, spec.Seed = cfg.Sites, cfg.Epsilon, cfg.Seed
 	if spec.Kind == KindMatrix {
 		spec.Dim = cfg.Dim
-		// Echo the shard count only for actually-sharded trackers, so
-		// unsharded specs keep their pre-sharding wire form.
-		if shards := sess.Shards(); shards > 1 {
-			spec.Shards = shards
-		}
 	}
 	if spec.Kind == KindQuantile {
 		spec.Bits = cfg.Bits
+	}
+	// Echo the shard count only for actually-sharded trackers (any kind),
+	// so unsharded specs keep their pre-sharding wire form.
+	if shards := sess.Shards(); shards > 1 {
+		spec.Shards = shards
 	}
 
 	m.mu.Lock()

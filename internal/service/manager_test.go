@@ -142,7 +142,8 @@ func TestConcurrentIngestAndMetrics(t *testing.T) {
 }
 
 // TestIngestErrorsPropagate checks a bad batch reports its error through
-// the shard path and the preceding entries remain ingested.
+// the shard path and — batches being atomic — leaves nothing ingested,
+// not even the entries preceding the bad one.
 func TestIngestErrorsPropagate(t *testing.T) {
 	m, err := Open(testOptions(t))
 	if err != nil {
@@ -163,8 +164,8 @@ func TestIngestErrorsPropagate(t *testing.T) {
 	if !errors.Is(err, distmat.ErrInvalidItem) {
 		t.Fatalf("bad value: %v, want ErrInvalidItem", err)
 	}
-	if got := tr.Ingested(); got != 1 {
-		t.Fatalf("ingested %d after mid-batch error, want 1", got)
+	if got := tr.Ingested(); got != 0 {
+		t.Fatalf("ingested %d after rejected batch, want 0 (batches are atomic)", got)
 	}
 	if err := tr.IngestItems(context.Background(), 5, items[:1]); !errors.Is(err, distmat.ErrInvalidSite) {
 		t.Fatalf("site 5 of 2: %v, want ErrInvalidSite", err)

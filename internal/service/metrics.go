@@ -30,8 +30,9 @@ type TrackerMetrics struct {
 	IngestPerSec float64 `json:"ingest_per_sec"`
 
 	// Shards and ShardRows report the tracker-level compute sharding of a
-	// matrix tracker created with Spec.Shards > 1: the shard count and the
-	// rows dealt to each shard. Omitted for unsharded trackers.
+	// tracker created with Spec.Shards > 1: the shard count and the rows
+	// (matrix) or items (heavy-hitters, quantile) dealt to each shard.
+	// Omitted for unsharded trackers.
 	Shards    int     `json:"shards,omitempty"`
 	ShardRows []int64 `json:"shard_rows,omitempty"`
 

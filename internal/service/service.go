@@ -112,13 +112,14 @@ type Spec struct {
 	// ingest mode (Config.FastIngest): POST …/rows batches fold as whole
 	// blocks with per-block decompositions.
 	Fast bool `json:"fast,omitempty"`
-	// Shards runs a matrix tracker as P parallel shards merged at query
-	// time (Config.Shards): posted blocks are dealt round-robin across P
-	// compute workers, each with a private tracker instance and scratch.
-	// Combined with Fast this is the service's highest-throughput
-	// configuration. Distinct from Options.Shards, which sets the number of
-	// ingest queue workers per tracker; queue workers enqueue, compute
-	// shards do the linear algebra. Non-matrix kinds reject Shards > 1.
+	// Shards runs the tracker — matrix, heavy-hitters, or quantile — as P
+	// parallel shards merged at query time (Config.Shards): posted blocks
+	// are dealt round-robin across P compute workers, each with a private
+	// tracker instance. For matrix trackers, combined with Fast this is
+	// the service's highest-throughput configuration. Distinct from
+	// Options.Shards, which sets the number of ingest queue workers per
+	// tracker; queue workers enqueue, compute shards run the summaries.
+	// Only windowed matrix trackers reject Shards > 1.
 	Shards int `json:"shards,omitempty"`
 }
 

@@ -144,7 +144,7 @@ func (m *MG) HeavyHitters(threshold float64) []WeightedElement {
 			out = append(out, WeightedElement{Elem: e, Weight: v})
 		}
 	}
-	sortByWeightDesc(out)
+	SortByWeightDesc(out)
 	return out
 }
 
@@ -154,7 +154,12 @@ type WeightedElement struct {
 	Weight float64
 }
 
-func sortByWeightDesc(s []WeightedElement) {
+// SortByWeightDesc sorts in place by descending weight, breaking ties by
+// ascending element id. Every heavy-hitter listing in the repository uses
+// this one total order, so equal-estimate outputs are deterministic — in
+// particular, a sharded tracker's merged listing matches the unsharded
+// tracker's even when shard merges visit elements in a different map order.
+func SortByWeightDesc(s []WeightedElement) {
 	sort.Slice(s, func(i, j int) bool {
 		if s[i].Weight != s[j].Weight {
 			return s[i].Weight > s[j].Weight

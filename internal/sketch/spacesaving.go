@@ -103,7 +103,7 @@ func (s *SpaceSaving) HeavyHitters(threshold float64) []WeightedElement {
 			out = append(out, WeightedElement{Elem: e, Weight: v})
 		}
 	}
-	sortByWeightDesc(out)
+	SortByWeightDesc(out)
 	return out
 }
 

@@ -19,13 +19,14 @@ import (
 // internal/service's checkpointed recovery; any at-least-once ingestion
 // pipeline can use it directly.
 //
-// Persistable sessions are the deterministic ones: matrix "p2" (sharded or
-// not — a sharded session snapshots every shard plus the deal cursor),
-// heavy-hitters "p2" and "exact", and quantile sessions, with the default
-// (uniform random) or round-robin assigner. Randomized protocols (p3, p4,
-// ...), windowed trackers, wrapped custom trackers, and custom Assigner
-// implementations carry state that cannot be re-seeded mid-stream;
-// SaveState reports them as ErrNotPersistable.
+// Persistable sessions are the deterministic ones: matrix "p2",
+// heavy-hitters "p2" and "exact", and quantile sessions — each sharded or
+// not (a sharded session snapshots every shard plus the deal cursor and
+// per-shard item tallies) — with the default (uniform random) or
+// round-robin assigner. Randomized protocols (p3, p4, ...), windowed
+// trackers, wrapped custom trackers, and custom Assigner implementations
+// carry state that cannot be re-seeded mid-stream; SaveState reports them
+// as ErrNotPersistable.
 
 // sessionStateVersion guards the on-disk layout.
 const sessionStateVersion = 1
@@ -69,7 +70,10 @@ func init() {
 	gob.Register(core.ShardedP2Snapshot{})
 	gob.Register(hh.P2Snapshot{})
 	gob.Register(hh.ExactSnapshot{})
+	gob.Register(hh.ShardedP2Snapshot{})
+	gob.Register(hh.ShardedExactSnapshot{})
 	gob.Register(quantile.TrackerSnapshot{})
+	gob.Register(quantile.ShardedTrackerSnapshot{})
 }
 
 // notPersistable wraps a reason in ErrNotPersistable.
@@ -101,6 +105,18 @@ func (s *Session) Persistable() error {
 				return notPersistable("the SpaceSaving P2 variant is not persistable")
 			}
 		case *hh.Exact:
+		case *hh.Sharded:
+			// Shard types never mix (one builder), so probing shard 0
+			// answers for the fleet.
+			switch sp := p.Shard(0).(type) {
+			case *hh.P2:
+				if !sp.Snapshotable() {
+					return notPersistable("the SpaceSaving P2 variant is not persistable")
+				}
+			case *hh.Exact:
+			default:
+				return notPersistable("sharded heavy-hitters protocol %q has no snapshot support (persistable shards: p2, exact)", s.proto)
+			}
 		default:
 			return notPersistable("heavy-hitters protocol %q has no snapshot support (persistable: p2, exact)", s.proto)
 		}
@@ -136,11 +152,35 @@ func (s *Session) trackerSnapshot() (any, error) {
 			return snap, nil
 		case *hh.Exact:
 			return p.Snapshot(), nil
+		case *hh.Sharded:
+			switch p.Shard(0).(type) {
+			case *hh.P2:
+				snap, err := hh.SnapshotSharded(p)
+				if err != nil {
+					return nil, notPersistable("%v", err)
+				}
+				return snap, nil
+			case *hh.Exact:
+				snap, err := hh.SnapshotShardedExact(p)
+				if err != nil {
+					return nil, notPersistable("%v", err)
+				}
+				return snap, nil
+			default:
+				return nil, notPersistable("sharded heavy-hitters protocol %q has no snapshot support (persistable shards: p2, exact)", s.proto)
+			}
 		default:
 			return nil, notPersistable("heavy-hitters protocol %q has no snapshot support (persistable: p2, exact)", s.proto)
 		}
 	default:
-		return s.qt.Snapshot(), nil
+		if sq, ok := s.qt.(*quantile.Sharded); ok {
+			snap, err := quantile.SnapshotSharded(sq)
+			if err != nil {
+				return nil, notPersistable("%v", err)
+			}
+			return snap, nil
+		}
+		return s.qt.(*quantile.Tracker).Snapshot(), nil
 	}
 }
 
@@ -150,6 +190,12 @@ func (s *Session) trackerSnapshot() (any, error) {
 func (s *Session) stateShards() int {
 	if st, ok := s.mat.(*core.ShardedTracker); ok {
 		return st.ShardCount()
+	}
+	if sh, ok := s.hhp.(*hh.Sharded); ok {
+		return sh.ShardCount()
+	}
+	if sq, ok := s.qt.(*quantile.Sharded); ok {
+		return sq.ShardCount()
 	}
 	return s.cfg.Shards
 }
@@ -288,6 +334,26 @@ func RestoreSession(r io.Reader) (_ *Session, err error) {
 				return nil, invalidConfig(err)
 			}
 			s.hhp = p
+		case hh.ShardedP2Snapshot:
+			if cfg.Shards != len(snap.Shards) {
+				return nil, invalidConfigf("session state says %d shards, snapshot carries %d",
+					cfg.Shards, len(snap.Shards))
+			}
+			p, err := hh.RestoreSharded(snap)
+			if err != nil {
+				return nil, invalidConfig(err)
+			}
+			s.hhp = p
+		case hh.ShardedExactSnapshot:
+			if cfg.Shards != len(snap.Shards) {
+				return nil, invalidConfigf("session state says %d shards, snapshot carries %d",
+					cfg.Shards, len(snap.Shards))
+			}
+			p, err := hh.RestoreShardedExact(snap)
+			if err != nil {
+				return nil, invalidConfig(err)
+			}
+			s.hhp = p
 		default:
 			return nil, fmt.Errorf("distmat: heavy-hitters session state carries %T", st.Tracker)
 		}
@@ -296,15 +362,26 @@ func RestoreSession(r io.Reader) (_ *Session, err error) {
 		if err := cfg.validateQuantile(); err != nil {
 			return nil, err
 		}
-		snap, ok := st.Tracker.(quantile.TrackerSnapshot)
-		if !ok {
+		switch snap := st.Tracker.(type) {
+		case quantile.TrackerSnapshot:
+			qt, err := quantile.RestoreTracker(snap)
+			if err != nil {
+				return nil, invalidConfig(err)
+			}
+			s.qt = qt
+		case quantile.ShardedTrackerSnapshot:
+			if cfg.Shards != len(snap.Shards) {
+				return nil, invalidConfigf("session state says %d shards, snapshot carries %d",
+					cfg.Shards, len(snap.Shards))
+			}
+			qt, err := quantile.RestoreSharded(snap)
+			if err != nil {
+				return nil, invalidConfig(err)
+			}
+			s.qt = qt
+		default:
 			return nil, fmt.Errorf("distmat: quantile session state carries %T", st.Tracker)
 		}
-		qt, err := quantile.RestoreTracker(snap)
-		if err != nil {
-			return nil, invalidConfig(err)
-		}
-		s.qt = qt
 	default:
 		return nil, fmt.Errorf("distmat: unknown session kind %q", st.Kind)
 	}

@@ -13,7 +13,9 @@ type QuantileTracker = quantile.Tracker
 
 // NewQuantile builds the distributed quantile tracker from functional
 // options applied on top of DefaultConfig, consuming Sites, Epsilon, and
-// Bits. Invalid configurations return ErrInvalidConfig.
+// Bits. Invalid configurations return ErrInvalidConfig. NewQuantile always
+// builds a single tracker instance; WithShards(P) parallelism is a session
+// concern — use NewQuantileSession for a sharded deployment.
 func NewQuantile(opts ...Option) (*QuantileTracker, error) {
 	cfg := NewConfig(opts...)
 	if err := cfg.validateQuantile(); err != nil {

@@ -324,6 +324,11 @@ func NewMatrixByName(name string, cfg Config) (MatrixTracker, error) {
 // NewHHByName builds the named heavy-hitters protocol from cfg. Name lookup
 // is case-insensitive and accepts the registered aliases; unknown names
 // return ErrUnknownProtocol and invalid configurations ErrInvalidConfig.
+// With Shards > 1 the protocol is built once per shard (randomized
+// protocols at Seed+shardIndex) inside an hh.Sharded tracker that deals
+// item batches across worker goroutines and merges the shard coordinator
+// summaries at query time; call Session.Close (or the tracker's own Close)
+// when done to stop the workers.
 func NewHHByName(name string, cfg Config) (HHProtocol, error) {
 	e, ok := lookupHH[canonicalName(name)]
 	if !ok {
@@ -331,6 +336,14 @@ func NewHHByName(name string, cfg Config) (HHProtocol, error) {
 	}
 	if err := cfg.validateHH(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		return hh.NewSharded(cfg.Shards, cfg.Sites, func(shard int) hh.Protocol {
+			sc := cfg
+			sc.Shards = 0
+			sc.Seed = cfg.Seed + int64(shard)
+			return e.build(sc)
+		}), nil
 	}
 	return e.build(cfg), nil
 }

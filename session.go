@@ -2,11 +2,12 @@ package distmat
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
+	"repro/internal/hh"
 	"repro/internal/matrix"
 	"repro/internal/quantile"
+	"repro/internal/sketch"
 )
 
 // sessionKind discriminates what a Session tracks.
@@ -42,10 +43,11 @@ func (k sessionKind) String() string {
 // with SaveState/RestoreSession (persist.go). Sessions are not safe for
 // concurrent use; for a concurrent deployment see NewHHCluster,
 // NewMatrixCluster, the TCP runtime, or the cmd/distserve service layer,
-// which serializes many feeders onto one session. Matrix sessions built
-// with WithShards(P) parallelize internally — one caller, P worker
-// goroutines behind the tracker — and should be Closed when abandoned so
-// the workers stop.
+// which serializes many feeders onto one session. Sessions built with
+// WithShards(P) — matrix, heavy-hitters, or quantile — parallelize
+// internally: one caller, P worker goroutines behind the tracker, merged
+// at query time. Such sessions should be Closed when abandoned so the
+// workers stop.
 type Session struct {
 	kind  sessionKind
 	proto string
@@ -54,7 +56,7 @@ type Session struct {
 
 	mat MatrixTracker    // matrixKind
 	hhp HHProtocol       // hhKind
-	qt  *QuantileTracker // quantileKind
+	qt  quantile.Summary // quantileKind: *quantile.Tracker or *quantile.Sharded
 
 	closed bool // set by Close; ingestion then returns ErrSessionClosed
 
@@ -62,9 +64,10 @@ type Session struct {
 	count int64
 	draws int64 // assigner draws so far (ProcessRowAt/ProcessItemAt skip the assigner)
 
-	siteBuf  []int       // pooled per-batch site assignments (ProcessRows scratch)
-	runBuf   [][]float64 // pooled same-site run staging (sharded batch coalescing)
-	siteSeen []bool      // pooled per-site visited marks (sharded batch coalescing)
+	siteBuf  []int          // pooled per-batch site assignments (ProcessRows scratch)
+	runBuf   [][]float64    // pooled same-site run staging (sharded batch coalescing)
+	itemBuf  []WeightedItem // pooled same-site item-run staging (sharded batch coalescing)
+	siteSeen []bool         // pooled per-site visited marks (sharded batch coalescing)
 }
 
 // adoptAssigner reconciles cfg.Sites with an explicit assigner before any
@@ -173,19 +176,25 @@ func NewHHSession(proto string, opts ...Option) (*Session, error) {
 }
 
 // WrapHHSession builds a heavy-hitters session around an existing protocol
-// instance. The protocol's ε is echoed into the session's Config.
+// instance. The protocol's ε (and, for an hh.Sharded instance, its shard
+// count) is echoed into the session's Config.
 func WrapHHSession(p HHProtocol, opts ...Option) (*Session, error) {
 	cfg := NewConfig(opts...)
 	if err := adoptAssigner(&cfg); err != nil {
 		return nil, err
 	}
 	cfg.Epsilon = p.Eps()
+	if sh, ok := p.(*hh.Sharded); ok {
+		cfg.Shards = sh.ShardCount()
+	}
 	s := &Session{kind: hhKind, proto: canonicalName(p.Name()), cfg: cfg, hhp: p}
 	return finishSession(s)
 }
 
 // NewQuantileSession builds a weighted quantile session; items' Elem field
-// carries the value, which must lie in [0, 2^Bits).
+// carries the value, which must lie in [0, 2^Bits). With WithShards(P) the
+// stream is dealt across P independent tracker shards merged at query
+// time, keeping the εW rank bound (per-shard bounds sum to εW).
 func NewQuantileSession(opts ...Option) (*Session, error) {
 	cfg := NewConfig(opts...)
 	if err := adoptAssigner(&cfg); err != nil {
@@ -194,8 +203,15 @@ func NewQuantileSession(opts ...Option) (*Session, error) {
 	if err := cfg.validateQuantile(); err != nil {
 		return nil, err
 	}
-	s := &Session{kind: quantileKind, proto: "qdigest", cfg: cfg,
-		qt: quantile.NewTracker(cfg.Sites, cfg.Epsilon, cfg.Bits)}
+	var qt quantile.Summary
+	if cfg.Shards > 1 {
+		qt = quantile.NewSharded(cfg.Shards, cfg.Sites, func(int) *quantile.Tracker {
+			return quantile.NewTracker(cfg.Sites, cfg.Epsilon, cfg.Bits)
+		})
+	} else {
+		qt = quantile.NewTracker(cfg.Sites, cfg.Epsilon, cfg.Bits)
+	}
+	s := &Session{kind: quantileKind, proto: "qdigest", cfg: cfg, qt: qt}
 	return finishSession(s)
 }
 
@@ -216,26 +232,39 @@ func (s *Session) Count() int64 { return s.count }
 // Matrix returns the underlying matrix tracker, or nil for other kinds.
 func (s *Session) Matrix() MatrixTracker { return s.mat }
 
-// Shards returns the number of parallel tracker shards behind a matrix
-// session built with WithShards; 1 for every unsharded session.
+// Shards returns the number of parallel tracker shards behind a session
+// built with WithShards; 1 for every unsharded session.
 func (s *Session) Shards() int {
 	if st, ok := s.mat.(*core.ShardedTracker); ok {
 		return st.ShardCount()
 	}
+	if sh, ok := s.hhp.(*hh.Sharded); ok {
+		return sh.ShardCount()
+	}
+	if sq, ok := s.qt.(*quantile.Sharded); ok {
+		return sq.ShardCount()
+	}
 	return 1
 }
 
-// ShardRows returns the rows dealt to each tracker shard so far (the
-// service layer's per-shard metrics), nil for unsharded sessions.
+// ShardRows returns the rows (matrix) or items (heavy-hitters, quantile)
+// dealt to each tracker shard so far — the service layer's per-shard
+// metrics — nil for unsharded sessions.
 func (s *Session) ShardRows() []int64 {
 	if st, ok := s.mat.(*core.ShardedTracker); ok {
 		return st.ShardRows()
+	}
+	if sh, ok := s.hhp.(*hh.Sharded); ok {
+		return sh.ShardItems()
+	}
+	if sq, ok := s.qt.(*quantile.Sharded); ok {
+		return sq.ShardItems()
 	}
 	return nil
 }
 
 // Close releases the resources a session holds beyond its plain state:
-// sharded matrix sessions stop their worker goroutines (after flushing all
+// sharded sessions stop their worker goroutines (after flushing all
 // in-flight blocks). A closed session still answers queries; further
 // ingestion returns ErrSessionClosed. Close is idempotent, and for every
 // other session kind it only marks the session closed.
@@ -243,6 +272,12 @@ func (s *Session) Close() error {
 	s.closed = true
 	if st, ok := s.mat.(*core.ShardedTracker); ok {
 		st.Close()
+	}
+	if sh, ok := s.hhp.(*hh.Sharded); ok {
+		sh.Close()
+	}
+	if sq, ok := s.qt.(*quantile.Sharded); ok {
+		sq.Close()
 	}
 	return nil
 }
@@ -259,8 +294,15 @@ func (s *Session) checkOpen() error {
 // HH returns the underlying heavy-hitters protocol, or nil for other kinds.
 func (s *Session) HH() HHProtocol { return s.hhp }
 
-// Quantiles returns the underlying quantile tracker, or nil for other kinds.
-func (s *Session) Quantiles() *QuantileTracker { return s.qt }
+// Quantiles returns the underlying quantile tracker; nil for other kinds
+// and for sharded quantile sessions, whose state lives in per-shard
+// trackers merged at query time (query through the Session instead).
+func (s *Session) Quantiles() *QuantileTracker {
+	if t, ok := s.qt.(*quantile.Tracker); ok {
+		return t
+	}
+	return nil
+}
 
 // Stats returns the communication tally so far. On a sharded matrix
 // session this waits for every in-flight block to be applied; monitoring
@@ -283,6 +325,12 @@ func (s *Session) Stats() Stats {
 func (s *Session) StatsRelaxed() Stats {
 	if st, ok := s.mat.(*core.ShardedTracker); ok {
 		return st.StatsApplied()
+	}
+	if sh, ok := s.hhp.(*hh.Sharded); ok {
+		return sh.StatsApplied()
+	}
+	if sq, ok := s.qt.(*quantile.Sharded); ok {
+		return sq.StatsApplied()
 	}
 	return s.Stats()
 }
@@ -525,26 +573,133 @@ func (s *Session) ingestItem(site int, it WeightedItem) {
 	s.count++
 }
 
-// ProcessItems ingests a batch of weighted items. On error the items
-// preceding the offending one remain ingested; the error reports its index.
-func (s *Session) ProcessItems(items []WeightedItem) error {
+// checkItems validates a whole item batch without touching any state,
+// reporting the first offending item by index. Batch ingestion applies
+// only batches that pass — the items path matches the rows path, which
+// validates in-caller before the tracker sees anything.
+func (s *Session) checkItems(items []WeightedItem) error {
 	for i, it := range items {
-		if err := s.ProcessItem(it); err != nil {
+		if err := s.checkItem(it); err != nil {
 			return fmt.Errorf("item %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-// ProcessItemsAt ingests a batch of weighted items at an explicit site. On
-// error the items preceding the offending one remain ingested; the error
-// reports its index.
-func (s *Session) ProcessItemsAt(site int, items []WeightedItem) error {
-	for i, it := range items {
-		if err := s.ProcessItemAt(site, it); err != nil {
-			return fmt.Errorf("item %d: %w", i, err)
+// ingestItems routes a validated same-site item run to the tracker:
+// sharded trackers deal the run across their workers as one batch,
+// unsharded trackers apply it item by item (bit-identical to per-item
+// feeds).
+func (s *Session) ingestItems(site int, items []WeightedItem) {
+	if len(items) == 0 {
+		return
+	}
+	if s.kind == hhKind {
+		if sh, ok := s.hhp.(*hh.Sharded); ok {
+			sh.ProcessItems(site, items)
+		} else {
+			for _, it := range items {
+				s.hhp.Process(site, it.Elem, it.Weight)
+			}
+		}
+	} else {
+		if sq, ok := s.qt.(*quantile.Sharded); ok {
+			sq.ProcessItems(site, items)
+		} else {
+			for _, it := range items {
+				s.qt.Process(site, it.Elem, it.Weight)
+			}
 		}
 	}
+	s.count += int64(len(items))
+}
+
+// ProcessItems ingests a batch of weighted items. The whole batch is
+// validated up front and applied only if clean: a rejected batch leaves
+// the session — tracker, count, assigner — exactly as it was, and the
+// error reports the first offending item's index. Items are dealt to
+// sites by the session's assigner in order; for unsharded sessions the
+// result is identical to calling ProcessItem once per item, while a
+// sharded session (WithShards) coalesces each site's items into one run
+// per site so the shard pipeline sees whole blocks (both hold the same
+// εW guarantee; see ProcessRows for the same contract on rows).
+func (s *Session) ProcessItems(items []WeightedItem) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	if err := s.checkItems(items); err != nil {
+		return err
+	}
+	n := len(items)
+	if cap(s.siteBuf) < n {
+		s.siteBuf = make([]int, n)
+	}
+	sites := s.siteBuf[:n]
+	for i := range sites {
+		sites[i] = s.asg.Next()
+	}
+	s.draws += int64(n)
+	if s.Shards() > 1 {
+		s.ingestItemsCoalesced(items, sites)
+		return nil
+	}
+	for i, it := range items {
+		s.ingestItem(sites[i], it)
+	}
+	return nil
+}
+
+// ingestItemsCoalesced regroups an assigner-dealt item batch into one run
+// per site — sites ordered by first appearance, items in stream order
+// within each site — and deals every run to the sharded tracker as a
+// single batch, mirroring ingestCoalesced on the rows path.
+//
+//distlint:hotpath
+func (s *Session) ingestItemsCoalesced(items []WeightedItem, sites []int) {
+	n := len(items)
+	if cap(s.itemBuf) < n {
+		s.itemBuf = make([]WeightedItem, n) //distlint:alloc-ok pool growth to the new high-water batch size
+	}
+	if len(s.siteSeen) < s.cfg.Sites {
+		s.siteSeen = make([]bool, s.cfg.Sites) //distlint:alloc-ok sized once by the fixed site count
+	}
+	for start := 0; start < n; start++ {
+		site := sites[start]
+		if s.siteSeen[site] {
+			continue
+		}
+		s.siteSeen[site] = true
+		run := s.itemBuf[:0]
+		for j := start; j < n; j++ {
+			if sites[j] == site {
+				run = append(run, items[j]) //distlint:alloc-ok cap(itemBuf) ≥ n: never grows
+			}
+		}
+		s.ingestItems(site, run)
+	}
+	for _, site := range sites {
+		s.siteSeen[site] = false
+	}
+}
+
+// ProcessItemsAt ingests a batch of weighted items at an explicit site as
+// one run. Like ProcessItems, the batch — items and site — is validated up
+// front and applied only if clean, so a rejected batch leaves the session
+// untouched; the error reports the first offending item's index.
+func (s *Session) ProcessItemsAt(site int, items []WeightedItem) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	if err := s.checkItems(items); err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	if site < 0 || site >= s.cfg.Sites {
+		return fmt.Errorf("%w: site %d outside [0, %d)", ErrInvalidSite, site, s.cfg.Sites)
+	}
+	s.ingestItems(site, items)
 	return nil
 }
 
@@ -646,12 +801,7 @@ func (s *Session) Snapshot() Snapshot {
 		}
 	case hhKind:
 		snap.Estimates = s.hhp.Candidates()
-		sort.Slice(snap.Estimates, func(i, j int) bool {
-			if snap.Estimates[i].Weight != snap.Estimates[j].Weight {
-				return snap.Estimates[i].Weight > snap.Estimates[j].Weight
-			}
-			return snap.Estimates[i].Elem < snap.Estimates[j].Elem
-		})
+		sketch.SortByWeightDesc(snap.Estimates)
 		snap.Total = s.hhp.EstimateTotal()
 	case quantileKind:
 		snap.Total = s.qt.EstimateTotal()

@@ -13,7 +13,15 @@ import (
 // and that WithFastIngest reaches the windowed tracker's sub-trackers.
 
 func TestNotShardableConfigurations(t *testing.T) {
-	cases := []struct {
+	// Only windowed matrix tracking still rejects WithShards: expiry
+	// re-ingestion cannot be merged at query time. Heavy-hitter and
+	// quantile sessions shard like unwindowed matrix ones.
+	if _, err := distmat.NewMatrixSession("p2",
+		distmat.WithSites(4), distmat.WithEpsilon(0.1), distmat.WithDim(8),
+		distmat.WithWindow(100), distmat.WithShards(2)); !errors.Is(err, distmat.ErrNotShardable) {
+		t.Errorf("windowed matrix with shards: err = %v, want ErrNotShardable", err)
+	}
+	for _, tc := range []struct {
 		name string
 		make func() (*distmat.Session, error)
 	}{
@@ -25,16 +33,16 @@ func TestNotShardableConfigurations(t *testing.T) {
 			return distmat.NewQuantileSession(
 				distmat.WithSites(4), distmat.WithEpsilon(0.05), distmat.WithShards(2))
 		}},
-		{"windowed matrix", func() (*distmat.Session, error) {
-			return distmat.NewMatrixSession("p2",
-				distmat.WithSites(4), distmat.WithEpsilon(0.1), distmat.WithDim(8),
-				distmat.WithWindow(100), distmat.WithShards(2))
-		}},
-	}
-	for _, tc := range cases {
-		if _, err := tc.make(); !errors.Is(err, distmat.ErrNotShardable) {
-			t.Errorf("%s with shards: err = %v, want ErrNotShardable", tc.name, err)
+	} {
+		sess, err := tc.make()
+		if err != nil {
+			t.Errorf("%s with shards: err = %v, want sharded session", tc.name, err)
+			continue
 		}
+		if got := sess.Shards(); got != 2 {
+			t.Errorf("%s Shards() = %d, want 2", tc.name, got)
+		}
+		sess.Close()
 	}
 
 	if _, err := distmat.NewMatrixSession("p2",

@@ -12,10 +12,20 @@
 // coordinator restarts. /metrics then carries a "wire" section with
 // network messages and bytes per update.
 //
+// With -wal (on by default when -data is set) direct and HTTP ingestion
+// is additionally covered by a write-ahead block log under DIR/wal: a
+// batch is acknowledged only once it is fsync-durable, recovery replays
+// the log beyond each tracker's checkpoint (truncating a torn tail from
+// a crash mid-write), and a persistently failing disk flips the daemon
+// into degraded mode — ingest answers 503 + Retry-After while queries
+// keep serving, until the background loop re-arms durability. See the
+// README's "Durability model" for which window each mechanism covers.
+//
 // Usage:
 //
 //	distserve [-addr :9146] [-wire :9147] [-data DIR] [-checkpoint 30s]
-//	          [-shards N] [-queue N] [-quiet]
+//	          [-wal] [-wal-flush 0s] [-wal-segment 16777216]
+//	          [-quarantine-corrupt] [-shards N] [-queue N] [-quiet]
 //
 // See the README's "Running distserve" and "Multi-node deployment"
 // sections for walkthroughs.
@@ -43,6 +53,10 @@ func main() {
 		wireA   = flag.String("wire", "", "wire listener address for site block streams (empty disables)")
 		data    = flag.String("data", "distserve-data", "checkpoint directory (empty disables persistence)")
 		ckpt    = flag.Duration("checkpoint", 30*time.Second, "periodic checkpoint interval (0 disables)")
+		useWAL  = flag.Bool("wal", true, "write-ahead log: fsync every batch before acking (needs -data)")
+		walFl   = flag.Duration("wal-flush", 0, "WAL group-commit interval (0 = leader commit per batch)")
+		walSeg  = flag.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (default 16MiB)")
+		quarant = flag.Bool("quarantine-corrupt", false, "set corrupt checkpoints aside as .corrupt and keep starting")
 		shards  = flag.Int("shards", 0, "ingestion workers per tracker (default 4)")
 		queue   = flag.Int("queue", 0, "per-shard queue depth in batches (default 16)")
 		timeout = flag.Duration("enqueue-timeout", 0, "backpressure bound before 503 (default 5s)")
@@ -59,6 +73,10 @@ func main() {
 	mgr, err := service.Open(service.Options{
 		DataDir:            *data,
 		CheckpointInterval: *ckpt,
+		WAL:                *useWAL && *data != "",
+		WALFlushInterval:   *walFl,
+		WALSegmentBytes:    *walSeg,
+		QuarantineCorrupt:  *quarant,
 		Shards:             *shards,
 		QueueDepth:         *queue,
 		EnqueueTimeout:     *timeout,
@@ -96,7 +114,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logf("listening on %s (data=%q checkpoint=%v)", *addr, *data, *ckpt)
+		logf("listening on %s (data=%q checkpoint=%v wal=%v)", *addr, *data, *ckpt, *useWAL && *data != "")
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -21,7 +21,8 @@ func All() []*lintkit.Analyzer {
 // ErrContract is scoped to the public facade and the service layer, whose
 // error-handling conventions it encodes; WorkerLifecycle is scoped to the
 // packages that spawn long-lived worker goroutines (matrix and item ingest
-// shards, the wire transport's connection managers and listeners).
+// shards, the wire transport's connection managers and listeners, and the
+// write-ahead log's interval flusher).
 func Suite(pkgPath string) []*lintkit.Analyzer {
 	suite := []*lintkit.Analyzer{HotPathAlloc, MutexGuard, SnapshotPurity}
 	switch pkgPath {
@@ -30,7 +31,7 @@ func Suite(pkgPath string) []*lintkit.Analyzer {
 	}
 	switch pkgPath {
 	case "repro/internal/core", "repro/internal/hh", "repro/internal/quantile",
-		"repro/internal/service", "repro/internal/wire":
+		"repro/internal/service", "repro/internal/wire", "repro/internal/wal":
 		suite = append(suite, WorkerLifecycle)
 	}
 	return suite

@@ -221,6 +221,20 @@ func (r *Runner) IngestBench() ([]IngestResult, error) {
 		out = append(out, res)
 	}
 
+	// The durability counterpart of p2-blocked: the same blocked fast-mode
+	// stream through a WAL-enabled service manager, where every batch is
+	// fsync-durable before it is acknowledged. The gap to p2-blocked is
+	// the price of the crash guarantee — group-commit fsyncs on the ingest
+	// path (leader commit, one sync per acked batch at this single-feeder
+	// profile).
+	{
+		res, err := walIngestBench(cfg, rows, matDim)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+
 	// Blocked vs unblocked Frequent Directions: the sketch-level hot path
 	// with no protocol overhead. The unblocked baseline factorizes after
 	// every row (block 1, the row-at-a-time path); the blocked sketch uses
@@ -346,6 +360,56 @@ func wireIngestBench(cfg Config, rows [][]float64, matDim int) (IngestResult, er
 		res.MessagesPerUpdate = float64(res.Messages) / float64(res.N)
 		res.NetMsgsPerUpdate = float64(res.NetMsgs) / float64(res.N)
 		res.NetBytesPerUpdate = float64(res.NetBytes) / float64(res.N)
+	}
+	return res, nil
+}
+
+// walIngestBench times the p2-wal entry: the p2-blocked stream pushed
+// through Tracker.IngestRows on a WAL-enabled manager over a throwaway
+// data directory, so the artifact tracks the write-ahead log's ingest
+// overhead (encode + group-commit fsync per acked batch) release over
+// release.
+func walIngestBench(cfg Config, rows [][]float64, matDim int) (IngestResult, error) {
+	var res IngestResult
+	dir, err := os.MkdirTemp("", "distmat-bench-wal-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	mgr, err := service.Open(service.Options{DataDir: dir, WAL: true})
+	if err != nil {
+		return res, err
+	}
+	defer mgr.Close()
+	tr, err := mgr.Create("bench", service.Spec{
+		Kind: service.KindMatrix, Protocol: "p2", Sites: cfg.Sites,
+		Epsilon: 0.1, Dim: matDim, Seed: cfg.Seed, Fast: true,
+	})
+	if err != nil {
+		return res, err
+	}
+	ctx := context.Background()
+	const block = 1024
+	start := time.Now()
+	for i := 0; i < len(rows); i += block {
+		end := min(i+block, len(rows))
+		if err := tr.IngestRows(ctx, 0, rows[i:end]); err != nil {
+			return res, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	res = IngestResult{
+		Problem: "matrix", Protocol: "p2-wal", Mode: "fast",
+		Sites: cfg.Sites, Epsilon: 0.1, Dim: matDim, N: len(rows),
+		Seconds:  elapsed.Seconds(),
+		Messages: tr.Stats().Total(),
+	}
+	if res.Seconds > 0 {
+		res.RowsPerSec = float64(res.N) / res.Seconds
+	}
+	if res.N > 0 {
+		res.MessagesPerUpdate = float64(res.Messages) / float64(res.N)
 	}
 	return res, nil
 }

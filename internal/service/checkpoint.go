@@ -5,12 +5,12 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	distmat "repro"
+	"repro/internal/vfs"
 )
 
 // A checkpoint file is one gob-encoded envelope per tracker, written
@@ -33,6 +33,14 @@ type envelope struct {
 	// its state contains. Absent in pre-wire checkpoints; gob decodes
 	// those with a nil map, which restores as "no streams yet".
 	Watermarks map[int]uint64
+
+	// WalLSN is the tracker's write-ahead-log position at the instant
+	// State was captured (same critical section): every logged record at
+	// or below it is already in State, so recovery replays only the
+	// records beyond it, and the minimum across trackers is the log's
+	// compaction floor. Zero in checkpoints from WAL-disabled managers
+	// (gob leaves absent fields zero) — there is then no log to replay.
+	WalLSN uint64
 }
 
 const envelopeVersion = 1
@@ -73,6 +81,7 @@ func (m *Manager) checkpointDirty() error {
 			errs = append(errs, fmt.Errorf("%s: %w", t.name, err))
 		}
 	}
+	m.compactWAL()
 	return errors.Join(errs...)
 }
 
@@ -82,7 +91,11 @@ func (m *Manager) Checkpoint(name string) error {
 	if err != nil {
 		return err
 	}
-	return m.checkpointTracker(t)
+	if err := m.checkpointTracker(t); err != nil {
+		return err
+	}
+	m.compactWAL()
+	return nil
 }
 
 // CheckpointAll saves every persistable tracker now, joining any errors.
@@ -93,7 +106,30 @@ func (m *Manager) CheckpointAll() error {
 			errs = append(errs, fmt.Errorf("%s: %w", t.name, err))
 		}
 	}
+	m.compactWAL()
 	return errors.Join(errs...)
+}
+
+// compactWAL deletes log segments every persistable tracker's last
+// durable checkpoint covers. Failed checkpoints hold the floor back
+// (walCkpt only advances on success), so compaction can never outrun
+// what the checkpoint files actually contain.
+func (m *Manager) compactWAL() {
+	if m.wal == nil {
+		return
+	}
+	floor := m.wal.DurableLSN()
+	for _, t := range m.List() {
+		if !t.persistable {
+			continue
+		}
+		if c := t.walCkpt.Load(); c < floor {
+			floor = c
+		}
+	}
+	if _, err := m.wal.Compact(floor); err != nil {
+		m.opts.Logf("wal compaction: %v", err)
+	}
 }
 
 // checkpointTracker serializes one tracker to its checkpoint file. Not
@@ -124,8 +160,10 @@ func (m *Manager) checkpointTracker(t *Tracker) error {
 	var state bytes.Buffer
 	err := t.sess.SaveState(&state)
 	var wmSnap map[int]uint64
+	var walSnap uint64
 	if err == nil {
 		t.dirty = false
+		walSnap = t.walLSN
 		if len(t.wm) > 0 {
 			wmSnap = make(map[int]uint64, len(t.wm))
 			for s, a := range t.wm {
@@ -135,9 +173,9 @@ func (m *Manager) checkpointTracker(t *Tracker) error {
 	}
 	t.mu.Unlock()
 	if err == nil {
-		err = writeFileAtomic(m.checkpointPath(t.name), envelope{
+		err = writeFileAtomic(m.fs, m.checkpointPath(t.name), envelope{
 			Version: envelopeVersion, Name: t.name, Spec: t.spec, State: state.Bytes(),
-			Watermarks: wmSnap,
+			Watermarks: wmSnap, WalLSN: walSnap,
 		})
 	}
 	if err != nil {
@@ -147,6 +185,9 @@ func (m *Manager) checkpointTracker(t *Tracker) error {
 		t.mu.Unlock()
 		return err
 	}
+	// The file is durable: records up to walSnap are covered, so the WAL
+	// may compact segments below the cross-tracker minimum.
+	t.walCkpt.Store(walSnap)
 	if wmSnap != nil {
 		// The file is durable: blocks up to the captured watermarks now
 		// survive a restart, so sites may discard them.
@@ -164,16 +205,22 @@ func (m *Manager) checkpointTracker(t *Tracker) error {
 	return nil
 }
 
+// tempPrefix marks in-flight checkpoint temp files; Manager.Open sweeps
+// orphans a crash left behind (the deferred Remove below only runs
+// in-process).
+const tempPrefix = ".ckpt-"
+
 // writeFileAtomic gob-encodes env into path via a temp file + fsync +
 // rename (+ directory fsync), so a crash mid-write never corrupts the
-// previous checkpoint and a completed rename is durable.
-func writeFileAtomic(path string, env envelope) error {
+// previous checkpoint and a completed rename is durable. All I/O goes
+// through the FS seam, so tests can cut the power at any byte.
+func writeFileAtomic(fsys vfs.FS, path string, env envelope) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	tmp, err := vfs.CreateTemp(fsys, dir, tempPrefix)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 	if err := gob.NewEncoder(tmp).Encode(env); err != nil {
 		tmp.Close()
 		return err
@@ -185,39 +232,66 @@ func writeFileAtomic(path string, env envelope) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	if d, err := os.Open(dir); err == nil {
-		// Make the rename itself durable; best-effort on filesystems that
-		// reject directory fsync.
-		_ = d.Sync()
-		d.Close()
-	}
-	return nil
+	// The rename must be durable before the checkpoint may advance the
+	// durable watermarks (and let the WAL compact): an unsynced rename
+	// that rolls back across a crash would strand acknowledged data.
+	// (osFS.SyncDir internally tolerates filesystems that reject
+	// directory fsync; real failures and injected ones propagate.)
+	return fsys.SyncDir(dir)
 }
 
+// corruptExt is appended to a quarantined checkpoint's filename.
+const corruptExt = ".corrupt"
+
 // restoreAll loads every checkpoint in the data directory into fresh
-// trackers. A file that fails to restore is an error: silently dropping
-// state would break the continuous guarantee the checkpoints exist for.
+// trackers, sweeping orphaned temp files a crash mid-checkpoint left
+// behind. By default a file that fails to restore is an error: silently
+// dropping state would break the continuous guarantee the checkpoints
+// exist for. With Options.QuarantineCorrupt the bad file is renamed to
+// <name>.ckpt.corrupt (preserved for forensics, never rescanned),
+// counted in /metrics, and the restore continues.
 //
 // Open calls restoreAll during construction, before the manager is shared
 // with any other goroutine, so the registry writes below need no lock.
 //
 //distlint:caller-holds mu
 func (m *Manager) restoreAll() error {
-	entries, err := os.ReadDir(m.opts.DataDir)
+	entries, err := m.fs.ReadDir(m.opts.DataDir)
 	if err != nil {
 		return fmt.Errorf("service: reading data dir: %w", err)
 	}
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), checkpointExt) {
+		if e.IsDir() {
 			continue
 		}
 		path := filepath.Join(m.opts.DataDir, e.Name())
+		if strings.HasPrefix(e.Name(), tempPrefix) {
+			// An in-flight temp from a crashed checkpoint write; the
+			// completed rename never happened, so it holds nothing durable.
+			if err := m.fs.Remove(path); err != nil {
+				m.opts.Logf("sweeping %s: %v", e.Name(), err)
+			} else {
+				m.opts.Logf("swept orphaned checkpoint temp %s", e.Name())
+			}
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), checkpointExt) {
+			continue
+		}
 		t, err := m.restoreOne(path)
 		if err != nil {
-			return fmt.Errorf("service: restoring %s: %w", e.Name(), err)
+			if !m.opts.QuarantineCorrupt {
+				return fmt.Errorf("service: restoring %s: %w", e.Name(), err)
+			}
+			if qerr := m.fs.Rename(path, path+corruptExt); qerr != nil {
+				return fmt.Errorf("service: quarantining %s: %w", e.Name(), qerr)
+			}
+			m.quarantined.Add(1)
+			m.opts.Logf("quarantined corrupt checkpoint %s -> %s%s: %v", e.Name(), e.Name(), corruptExt, err)
+			continue
 		}
 		m.trackers[t.name] = t
 		m.opts.Logf("restored %s (%s %s, %d rows/items)", t.name, t.spec.Kind, t.spec.Protocol, t.Count())
@@ -227,7 +301,7 @@ func (m *Manager) restoreAll() error {
 
 // restoreOne loads one checkpoint file.
 func (m *Manager) restoreOne(path string) (*Tracker, error) {
-	f, err := os.Open(path)
+	f, err := vfs.Open(m.fs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -257,8 +331,12 @@ func (m *Manager) restoreOne(path string) (*Tracker, error) {
 		t.wm[s] = a
 		t.wmDurable[s] = a
 	}
+	// WAL replay (which runs after every checkpoint is restored) skips
+	// records the state already contains.
+	t.walLSN = env.WalLSN
 	t.mu.Unlock()
-	if info, err := os.Stat(path); err == nil {
+	t.walCkpt.Store(env.WalLSN)
+	if info, err := m.fs.Stat(path); err == nil {
 		t.lastCkpt.Store(info.ModTime().UnixNano())
 	}
 	return t, nil

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// durability couples the manager's ingest path to its write-ahead log
+// and owns the degraded-mode state machine. Healthy path: stage a record
+// inside the tracker-lock critical section that applies the batch (LSN
+// order = apply order), waitDurable outside it, acknowledge only after
+// both. A WAL write or fsync failure flips the manager into degraded
+// mode: every durable ingest fails fast with ErrDegraded (HTTP 503 +
+// Retry-After) while queries, metrics, and the wire path (whose
+// durability is watermark retransmit, not the WAL) keep serving, and a
+// background loop retries wal.Log.Rearm with exponential backoff until
+// the disk recovers.
+type durability struct {
+	log   *wal.Log
+	logf  func(format string, args ...any)
+	retry time.Duration // initial re-arm backoff; doubles up to 32×
+
+	mu sync.Mutex
+	//distlint:guarded-by mu
+	damage error // cause of degraded mode, nil while armed
+	//distlint:guarded-by mu
+	retrying bool // a retryLoop goroutine is live
+	//distlint:guarded-by mu
+	stopped bool // close() ran; spawn no more retry loops
+
+	//distlint:guarded-by mu
+	entered int64 // times degraded mode was entered
+	//distlint:guarded-by mu
+	rearmed int64 // times the re-arm loop restored durability
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newDurability(log *wal.Log, logf func(string, ...any), retry time.Duration) *durability {
+	return &durability{log: log, logf: logf, retry: retry, stop: make(chan struct{})}
+}
+
+// gate returns the degraded-mode error, or nil while durability is
+// armed. Ingest paths call it before queueing work.
+func (d *durability) gate() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.damage == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrDegraded, d.damage)
+}
+
+// stage appends one record to the WAL, assigning its LSN. Call it from
+// the same critical section that applies the batch; on any error the
+// batch must not be applied. A damaged log enters degraded mode; an
+// encoding rejection (nothing staged) just reports the bad input.
+func (d *durability) stage(rec *wal.Record) (uint64, error) {
+	if err := d.gate(); err != nil {
+		return 0, err
+	}
+	lsn, err := d.log.Append(rec)
+	if err != nil {
+		if d.log.Damaged() != nil {
+			return 0, d.enterDegraded(err)
+		}
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// waitDurable blocks until the record's group commit lands. Call it
+// after releasing the tracker lock, before acknowledging the batch.
+func (d *durability) waitDurable(lsn uint64) error {
+	if err := d.log.WaitDurable(lsn); err != nil {
+		if d.log.Damaged() != nil {
+			return d.enterDegraded(err)
+		}
+		return err // log closed mid-wait
+	}
+	return nil
+}
+
+// enterDegraded records the failure, starts the re-arm loop if one is
+// not already running, and returns the ErrDegraded-wrapped cause.
+func (d *durability) enterDegraded(cause error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.damage == nil {
+		d.damage = cause
+		d.entered++
+		d.logf("durability: entering degraded mode (ingest rejected until re-arm): %v", cause)
+		if !d.retrying && !d.stopped {
+			d.retrying = true
+			d.wg.Add(1)
+			go d.retryLoop()
+		}
+	}
+	return fmt.Errorf("%w: %w", ErrDegraded, d.damage)
+}
+
+// retryLoop retries Rearm with exponential backoff until durability is
+// restored or the manager closes.
+func (d *durability) retryLoop() {
+	defer d.wg.Done()
+	delay := d.retry
+	maxDelay := d.retry * 32
+	for {
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-d.stop:
+			timer.Stop()
+			return
+		}
+		err := d.log.Rearm()
+		if err == nil {
+			d.mu.Lock()
+			d.damage = nil
+			d.retrying = false
+			d.rearmed++
+			d.mu.Unlock()
+			d.logf("durability: re-armed, leaving degraded mode")
+			return
+		}
+		d.logf("durability: re-arm failed (next attempt in %v): %v", delay, err)
+		if delay < maxDelay {
+			delay *= 2
+		}
+	}
+}
+
+// snapshot reports the degraded-mode state for /metrics.
+func (d *durability) snapshot() (cause string, entered, rearmed int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.damage != nil {
+		cause = d.damage.Error()
+	}
+	return cause, d.entered, d.rearmed
+}
+
+// close stops the re-arm loop. The WAL itself is closed by the manager
+// after its final checkpoint.
+func (d *durability) close() {
+	d.mu.Lock()
+	d.stopped = true
+	d.mu.Unlock()
+	close(d.stop)
+	d.wg.Wait()
+}

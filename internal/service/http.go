@@ -41,6 +41,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// degradedRetryAfter is the Retry-After hint (seconds) on degraded-mode
+// 503s — the re-arm loop's backoff starts well under this, so a client
+// honoring it never beats the first recovery attempt.
+const degradedRetryAfter = "1"
+
 // writeErr maps service and facade errors onto HTTP statuses.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
@@ -49,6 +54,11 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrExists):
 		status = http.StatusConflict
+	case errors.Is(err, ErrDegraded):
+		// Durability lost: the service is degraded read-only while a
+		// background loop re-arms the WAL. Tell clients when to retry.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", degradedRetryAfter)
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrBadName),

@@ -1,13 +1,19 @@
 package service
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	distmat "repro"
+	"repro/internal/vfs"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -22,6 +28,38 @@ type Options struct {
 	// 0 disables periodic checkpointing (explicit Checkpoint calls and the
 	// final Close checkpoint still run).
 	CheckpointInterval time.Duration
+
+	// WAL enables the write-ahead block log under <DataDir>/wal: every
+	// direct/HTTP batch on a persistable tracker is fsync-durable before
+	// it is acknowledged, and Open replays the log beyond each tracker's
+	// checkpoint. Requires DataDir. Disabled by default (checkpoint-only
+	// durability, the pre-WAL behavior).
+	WAL bool
+
+	// WALFlushInterval selects the WAL group-commit cadence: zero
+	// (default) commits leader-driven — the first waiting batch fsyncs
+	// immediately and concurrent batches share the sync; a positive
+	// interval batches commits at that period, trading acknowledgement
+	// latency for fewer fsyncs.
+	WALFlushInterval time.Duration
+
+	// WALSegmentBytes is the log's segment rotation threshold
+	// (default 16 MiB).
+	WALSegmentBytes int64
+
+	// DegradedRetry is the initial backoff of the degraded-mode re-arm
+	// loop after a WAL disk failure (default 100ms, doubling to 32×).
+	DegradedRetry time.Duration
+
+	// QuarantineCorrupt renames a checkpoint that fails to restore to
+	// <name>.ckpt.corrupt and continues the Open (count in /metrics)
+	// instead of failing it. Default: fail fast.
+	QuarantineCorrupt bool
+
+	// FS is the filesystem seam for all checkpoint and WAL I/O
+	// (default: the real filesystem). Tests inject vfs.Fault to script
+	// partial writes, fsync errors, and power cuts.
+	FS vfs.FS
 
 	// Shards is the number of ingestion workers per tracker (default 4).
 	Shards int
@@ -49,6 +87,12 @@ func (o Options) withDefaults() Options {
 	if o.EnqueueTimeout <= 0 {
 		o.EnqueueTimeout = 5 * time.Second
 	}
+	if o.DegradedRetry <= 0 {
+		o.DegradedRetry = 100 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS()
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -60,6 +104,7 @@ func (o Options) withDefaults() Options {
 type Manager struct {
 	opts  Options
 	start time.Time
+	fs    vfs.FS
 
 	mu       sync.RWMutex
 	trackers map[string]*Tracker //distlint:guarded-by mu
@@ -68,30 +113,67 @@ type Manager struct {
 	stopCkpt chan struct{}
 	ckptWG   sync.WaitGroup
 
+	// wal and dur, set when Options.WAL is on, are the write-ahead block
+	// log and the degraded-mode state machine over it; quarantined counts
+	// corrupt checkpoints set aside by Options.QuarantineCorrupt.
+	wal         *wal.Log
+	dur         *durability
+	quarantined atomic.Int64
+
 	// wireStats, when set (SetWireStats), are the wire listener's traffic
 	// counters, surfaced in /metrics as the network cost dimension.
 	wireStats atomic.Pointer[wire.Stats]
 }
 
-// Open builds a Manager. When opts.DataDir is set it is created if needed
-// and every checkpoint in it is restored, so a restarted process resumes
-// all persistable trackers; with a CheckpointInterval the background
-// checkpoint loop starts too.
+// Open builds a Manager. When opts.DataDir is set it is created if
+// needed, orphaned checkpoint temps are swept, and every checkpoint in
+// it is restored; with opts.WAL the write-ahead log is then replayed
+// beyond each tracker's checkpoint (truncating a torn tail from a crash
+// mid-write), so a restarted process resumes every persistable tracker
+// with all acknowledged batches intact. With a CheckpointInterval the
+// background checkpoint loop starts too.
 func Open(opts Options) (*Manager, error) {
 	opts = opts.withDefaults()
 	m := &Manager{
 		opts:     opts,
 		start:    time.Now(),
+		fs:       opts.FS,
 		trackers: make(map[string]*Tracker),
 		stopCkpt: make(chan struct{}),
 	}
+	if opts.WAL && opts.DataDir == "" {
+		return nil, fmt.Errorf("service: %w: WAL requires DataDir", errBadConfig)
+	}
 	if opts.DataDir != "" {
-		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+		if err := m.fs.MkdirAll(opts.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("service: data dir: %w", err)
 		}
 		if err := m.restoreAll(); err != nil {
+			m.closeTrackers()
 			return nil, err
 		}
+	}
+	if opts.WAL {
+		wlog, err := wal.Open(wal.Options{
+			Dir:           filepath.Join(opts.DataDir, "wal"),
+			FS:            m.fs,
+			SegmentBytes:  opts.WALSegmentBytes,
+			FlushInterval: opts.WALFlushInterval,
+			Logf:          opts.Logf,
+		}, m.replayWAL)
+		if err != nil {
+			m.closeTrackers()
+			return nil, fmt.Errorf("service: opening wal: %w", err)
+		}
+		m.wal = wlog
+		m.dur = newDurability(wlog, opts.Logf, opts.DegradedRetry)
+		m.mu.Lock()
+		for _, t := range m.trackers {
+			if t.persistable {
+				t.dur = m.dur
+			}
+		}
+		m.mu.Unlock()
 	}
 	if opts.DataDir != "" && opts.CheckpointInterval > 0 {
 		m.ckptWG.Add(1)
@@ -100,21 +182,103 @@ func Open(opts Options) (*Manager, error) {
 	return m, nil
 }
 
-// Create builds a tracker from a Spec and registers it under name.
-func (m *Manager) Create(name string, spec Spec) (*Tracker, error) {
-	if err := CheckName(name); err != nil {
-		return nil, err
+// errBadConfig marks invalid Options combinations.
+var errBadConfig = errors.New("invalid options")
+
+// closeTrackers releases sessions built during a failed Open. Only
+// called before the manager is shared, so the registry needs no lock.
+//
+//distlint:caller-holds mu
+func (m *Manager) closeTrackers() {
+	for _, t := range m.trackers {
+		t.close()
 	}
+}
+
+// replayWAL applies one recovered log record during Open, before the
+// manager is shared with any goroutine (registry writes need no lock).
+// Unreplayable records — an unknown tracker, a session rejection — are
+// logged and skipped rather than failing the Open: the crashed instance
+// hit the same deterministic rejection when it first applied them, so
+// skipping reproduces its state; and a record for a tracker whose
+// delete was acknowledged has nothing to land on by design.
+//
+//distlint:caller-holds mu
+func (m *Manager) replayWAL(rec *wal.Record) error {
+	switch rec.Kind {
+	case wal.KindCreate:
+		if _, ok := m.trackers[rec.Tracker]; ok {
+			// Already restored from its checkpoint (which post-dates the
+			// create record by construction).
+			return nil
+		}
+		var spec Spec
+		if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+			m.opts.Logf("wal replay: create %q (LSN %d): bad spec: %v (skipped)", rec.Tracker, rec.LSN, err)
+			return nil
+		}
+		spec, sess, err := buildSession(spec)
+		if err != nil {
+			m.opts.Logf("wal replay: create %q (LSN %d): %v (skipped)", rec.Tracker, rec.LSN, err)
+			return nil
+		}
+		t := newTracker(rec.Tracker, spec, sess, m.opts.Shards, m.opts.QueueDepth, m.opts.EnqueueTimeout)
+		t.mu.Lock()
+		t.walLSN = rec.LSN
+		t.mu.Unlock()
+		m.trackers[rec.Tracker] = t
+		m.opts.Logf("wal replay: recreated %s (%s %s)", rec.Tracker, spec.Kind, spec.Protocol)
+	case wal.KindDelete:
+		t, ok := m.trackers[rec.Tracker]
+		if !ok {
+			return nil
+		}
+		delete(m.trackers, rec.Tracker)
+		t.deleted.Store(true)
+		t.close()
+		// The crashed instance may have gone down between the delete
+		// record landing and the checkpoint file removal.
+		if err := m.fs.Remove(m.checkpointPath(rec.Tracker)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("removing checkpoint of replayed delete: %w", err)
+		}
+		m.opts.Logf("wal replay: deleted %s", rec.Tracker)
+	default:
+		t, ok := m.trackers[rec.Tracker]
+		if !ok {
+			m.opts.Logf("wal replay: %v for unknown tracker %q (LSN %d, skipped)", rec.Kind, rec.Tracker, rec.LSN)
+			return nil
+		}
+		if err := t.replayRecord(rec); err != nil {
+			m.opts.Logf("wal replay: LSN %d on %s: %v (skipped)", rec.LSN, rec.Tracker, err)
+		}
+	}
+	return nil
+}
+
+// Degraded returns the degraded-mode error when the manager has lost
+// its durability guarantee (ingest is rejected until the background
+// loop re-arms the WAL), or nil while healthy or WAL-less.
+func (m *Manager) Degraded() error {
+	if m.dur == nil {
+		return nil
+	}
+	return m.dur.gate()
+}
+
+// buildSession normalizes a spec, builds its session, and echoes the
+// reconciled configuration back into the spec so GET /trackers shows
+// the effective parameters, not the elided zeroes. The echoed spec
+// (seed included) round-trips through JSON into a bit-identical
+// session, which is what makes WAL create records replayable.
+func buildSession(spec Spec) (Spec, *distmat.Session, error) {
 	spec, err := spec.normalize()
 	if err != nil {
-		return nil, err
+		return spec, nil, err
 	}
 	sess, err := spec.build()
 	if err != nil {
-		return nil, err
+		return spec, nil, err
 	}
-	// Echo the reconciled configuration back into the spec so GET
-	// /trackers shows the effective parameters, not the elided zeroes.
 	cfg := sess.Config()
 	spec.Sites, spec.Epsilon, spec.Seed = cfg.Sites, cfg.Epsilon, cfg.Seed
 	if spec.Kind == KindMatrix {
@@ -128,21 +292,72 @@ func (m *Manager) Create(name string, spec Spec) (*Tracker, error) {
 	if shards := sess.Shards(); shards > 1 {
 		spec.Shards = shards
 	}
+	return spec, sess, nil
+}
+
+// Create builds a tracker from a Spec and registers it under name. On a
+// WAL-enabled manager the creation of a persistable tracker is durable
+// before Create returns.
+func (m *Manager) Create(name string, spec Spec) (*Tracker, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
+	spec, sess, err := buildSession(spec)
+	if err != nil {
+		return nil, err
+	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		// The session was built before the registration checks; release it
 		// (a sharded tracker holds worker goroutines).
 		sess.Close()
 		return nil, ErrClosed
 	}
 	if _, ok := m.trackers[name]; ok {
+		m.mu.Unlock()
 		sess.Close()
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	t := newTracker(name, spec, sess, m.opts.Shards, m.opts.QueueDepth, m.opts.EnqueueTimeout)
+	var createLSN uint64
+	if m.dur != nil && t.persistable {
+		t.dur = m.dur
+		// Stage the create record while holding the registry lock, so any
+		// batch staged through the just-published tracker gets a later
+		// LSN: replay always sees the create first. (If the record never
+		// becomes durable, neither do those batches — durability is a
+		// prefix of the LSN order — so no acknowledged state depends on
+		// an unlogged tracker.)
+		blob, jerr := json.Marshal(spec)
+		if jerr == nil {
+			createLSN, jerr = m.dur.stage(&wal.Record{Kind: wal.KindCreate, Tracker: name, Spec: blob})
+		}
+		if jerr != nil {
+			m.mu.Unlock()
+			t.close()
+			return nil, jerr
+		}
+		t.mu.Lock()
+		t.walLSN = createLSN
+		t.mu.Unlock()
+	}
 	m.trackers[name] = t
+	m.mu.Unlock()
+
+	if m.dur != nil && t.persistable {
+		if err := m.dur.waitDurable(createLSN); err != nil {
+			m.mu.Lock()
+			if cur, ok := m.trackers[name]; ok && cur == t {
+				delete(m.trackers, name)
+			}
+			m.mu.Unlock()
+			t.deleted.Store(true)
+			t.close()
+			return nil, err
+		}
+	}
 	return t, nil
 }
 
@@ -170,10 +385,32 @@ func (m *Manager) List() []*Tracker {
 }
 
 // Delete stops the named tracker, removes it, and deletes its checkpoint
-// file.
+// file. On a WAL-enabled manager the deletion of a persistable tracker
+// is logged durably first, so an acknowledged delete can never be
+// resurrected by recovery; in degraded mode Delete fails with
+// ErrDegraded like any other durable mutation.
 func (m *Manager) Delete(name string) error {
 	m.mu.Lock()
 	t, ok := m.trackers[name]
+	if ok && t.dur != nil {
+		// The registry still holds the tracker while the delete record
+		// commits, so a failed commit leaves it fully serviceable.
+		lsn, err := t.dur.stage(&wal.Record{Kind: wal.KindDelete, Tracker: name})
+		if err == nil {
+			m.mu.Unlock()
+			err = t.dur.waitDurable(lsn)
+			m.mu.Lock()
+		}
+		if err != nil {
+			m.mu.Unlock()
+			return err
+		}
+		if t2, still := m.trackers[name]; !still || t2 != t {
+			// A concurrent Delete won the race while the lock was dropped.
+			m.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+	}
 	if ok {
 		delete(m.trackers, name)
 	}
@@ -188,9 +425,9 @@ func (m *Manager) Delete(name string) error {
 	t.close()
 	if m.opts.DataDir != "" {
 		t.ckptMu.Lock()
-		err := os.Remove(m.checkpointPath(name))
+		err := m.fs.Remove(m.checkpointPath(name))
 		t.ckptMu.Unlock()
-		if err != nil && !os.IsNotExist(err) {
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("service: removing checkpoint: %w", err)
 		}
 	}
@@ -222,5 +459,18 @@ func (m *Manager) Close() error {
 	for _, t := range m.List() {
 		t.close()
 	}
-	return m.CheckpointAll()
+	err := m.CheckpointAll()
+	// The final checkpoint covers the whole log (when it succeeded), so
+	// CheckpointAll's compaction pass has already shrunk the WAL; close
+	// it after the degraded-mode retry loop so nothing re-arms a log
+	// that is going away.
+	if m.dur != nil {
+		m.dur.close()
+	}
+	if m.wal != nil {
+		if werr := m.wal.Close(); werr != nil {
+			err = errors.Join(err, fmt.Errorf("service: closing wal: %w", werr))
+		}
+	}
+	return err
 }

@@ -1,6 +1,10 @@
 package service
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/wal"
+)
 
 // TrackerMetrics is one tracker's row in the /metrics document: the
 // communication Stats the paper measures (up/down messages with the
@@ -65,10 +69,30 @@ type WireMetrics struct {
 	BytesPerUpdate float64 `json:"net_bytes_per_update"`
 }
 
+// DurabilityMetrics is the /metrics durability section, present on
+// WAL-enabled managers: the write-ahead log's counters plus the
+// degraded-mode state (ingest rejected with 503 until the re-arm loop
+// restores the disk).
+type DurabilityMetrics struct {
+	Degraded      bool   `json:"degraded"`
+	DegradedError string `json:"degraded_error,omitempty"`
+	TimesDegraded int64  `json:"times_degraded,omitempty"`
+	TimesRearmed  int64  `json:"times_rearmed,omitempty"`
+
+	WAL wal.Stats `json:"wal"`
+}
+
 // Metrics is the /metrics document.
 type Metrics struct {
 	UptimeSeconds float64                   `json:"uptime_seconds"`
 	Trackers      map[string]TrackerMetrics `json:"trackers"`
+
+	// QuarantinedCheckpoints counts corrupt checkpoint files renamed
+	// aside by Options.QuarantineCorrupt during Open.
+	QuarantinedCheckpoints int64 `json:"quarantined_checkpoints,omitempty"`
+
+	// Durability is present on WAL-enabled managers.
+	Durability *DurabilityMetrics `json:"durability,omitempty"`
 
 	// Wire is present when the process runs a wire listener (distserve
 	// -wire).
@@ -126,8 +150,19 @@ func (t *Tracker) metrics() TrackerMetrics {
 // Metrics assembles the full /metrics document.
 func (m *Manager) Metrics() Metrics {
 	out := Metrics{
-		UptimeSeconds: m.Uptime().Seconds(),
-		Trackers:      make(map[string]TrackerMetrics),
+		UptimeSeconds:          m.Uptime().Seconds(),
+		Trackers:               make(map[string]TrackerMetrics),
+		QuarantinedCheckpoints: m.quarantined.Load(),
+	}
+	if m.dur != nil {
+		cause, entered, rearmed := m.dur.snapshot()
+		out.Durability = &DurabilityMetrics{
+			Degraded:      cause != "",
+			DegradedError: cause,
+			TimesDegraded: entered,
+			TimesRearmed:  rearmed,
+			WAL:           m.wal.Stats(),
+		}
 	}
 	var netRows int64
 	for _, t := range m.List() {

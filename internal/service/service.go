@@ -70,6 +70,13 @@ var (
 	// ErrBusy reports an ingest rejected by backpressure: the tracker's
 	// shard queue stayed full past the enqueue timeout.
 	ErrBusy = errors.New("service: ingest queue full")
+
+	// ErrDegraded reports a durable ingest refused because the manager's
+	// write-ahead log lost its disk (a failed write or fsync) and the
+	// service is running degraded: queries and metrics keep serving, but
+	// nothing new may be acknowledged until the background re-arm loop
+	// restores durability. HTTP maps it to 503 with a Retry-After header.
+	ErrDegraded = errors.New("service: durability degraded")
 )
 
 // nameRE constrains tracker names so they are safe as file names (the

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	distmat "repro"
+	"repro/internal/wal"
 )
 
 // AssignSite routes a batch through the session's site assigner (the
@@ -50,6 +51,18 @@ type Tracker struct {
 	wm map[int]uint64
 	//distlint:guarded-by mu
 	wmDurable map[int]uint64
+
+	// dur, when set (WAL-enabled manager, persistable tracker), write-ahead
+	// logs every direct/HTTP batch before it is applied. walLSN is the
+	// highest WAL LSN whose effects are in sess — staged in the same mu
+	// critical section as the apply, so a checkpoint captured under mu
+	// records exactly the log prefix its state contains; walCkpt is the
+	// walLSN the last durable checkpoint file covers (the tracker's WAL
+	// compaction floor).
+	dur *durability
+	//distlint:guarded-by mu
+	walLSN  uint64
+	walCkpt atomic.Uint64
 
 	queues     []chan ingestReq
 	closed     chan struct{}
@@ -139,9 +152,65 @@ func (t *Tracker) worker(q chan ingestReq) {
 // tracker's BatchTracker fast path), so a posted batch costs one blocked
 // ingest, not a per-row loop. On a mid-batch error the preceding entries
 // remain ingested (the session contract); the error reports the index.
+//
+// With a WAL attached, direct/HTTP batches (seq == 0) are staged to the
+// log inside the same critical section before the apply — so the log's
+// LSN order is the apply order — and the acknowledgement waits for the
+// group commit after the lock is released: acked ⇒ durable ∧ applied.
+// Wire blocks (seq > 0) are not logged; their durability is the
+// checkpoint watermark plus site retransmit.
 func (t *Tracker) apply(req ingestReq) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	var walLSN uint64
+	logged := false
+	if t.dur != nil && req.seq == 0 {
+		if rec := walRecord(t.name, req); rec != nil {
+			lsn, err := t.dur.stage(rec)
+			if err != nil {
+				// Nothing reached the log; applying would make state the
+				// replay cannot reproduce, so reject the batch whole.
+				t.mu.Unlock()
+				return err
+			}
+			t.walLSN = lsn
+			walLSN = lsn
+			logged = true
+		}
+	}
+	err := t.applyLocked(req)
+	t.mu.Unlock()
+	if logged {
+		if derr := t.dur.waitDurable(walLSN); derr != nil {
+			return derr
+		}
+	}
+	return err
+}
+
+// walRecord builds the WAL record for one batch, or nil for an empty
+// batch (nothing to replay).
+func walRecord(name string, req ingestReq) *wal.Record {
+	if req.rows != nil {
+		if len(req.rows) == 0 {
+			return nil
+		}
+		return &wal.Record{Kind: wal.KindRows, Tracker: name, Site: req.site,
+			Dim: len(req.rows[0]), Rows: req.rows}
+	}
+	if len(req.items) == 0 {
+		return nil
+	}
+	items := make([]wal.Item, len(req.items))
+	for i, it := range req.items {
+		items[i] = wal.Item{Elem: it.Elem, Weight: it.Weight}
+	}
+	return &wal.Record{Kind: wal.KindItems, Tracker: name, Site: req.site, Items: items}
+}
+
+// applyLocked is the session mutation half of apply.
+//
+//distlint:caller-holds mu
+func (t *Tracker) applyLocked(req ingestReq) error {
 	if req.seq != 0 {
 		// Wire stream block: dedup and gap-check against the site
 		// watermark in the same critical section as the apply, so a
@@ -230,15 +299,71 @@ func (t *Tracker) enqueue(ctx context.Context, req ingestReq) error {
 }
 
 // IngestRows ingests a batch of matrix rows at the given site (AssignSite
-// routes through the session's assigner).
+// routes through the session's assigner). On a WAL-enabled manager the
+// batch is acknowledged only once it is fsync-durable; in degraded mode
+// it fails fast with ErrDegraded.
 func (t *Tracker) IngestRows(ctx context.Context, site int, rows [][]float64) error {
+	if t.dur != nil {
+		if err := t.dur.gate(); err != nil {
+			return err
+		}
+	}
 	return t.enqueue(ctx, ingestReq{site: site, rows: rows})
 }
 
 // IngestItems ingests a batch of weighted items at the given site
-// (AssignSite routes through the session's assigner).
+// (AssignSite routes through the session's assigner). Durability matches
+// IngestRows.
 func (t *Tracker) IngestItems(ctx context.Context, site int, items []distmat.WeightedItem) error {
+	if t.dur != nil {
+		if err := t.dur.gate(); err != nil {
+			return err
+		}
+	}
 	return t.enqueue(ctx, ingestReq{site: site, items: items})
+}
+
+// replayRecord re-applies one WAL record during recovery. Records at or
+// below the restored checkpoint's WAL coverage are skipped — their
+// effects are already in the state. A session rejection is returned for
+// logging but leaves the tracker usable: the crashed instance hit the
+// identical rejection when it first applied the record (replay is
+// deterministic), so skipping reproduces its state exactly.
+func (t *Tracker) replayRecord(rec *wal.Record) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rec.LSN <= t.walLSN {
+		return nil
+	}
+	t.walLSN = rec.LSN
+	before := t.sess.Count()
+	var err error
+	switch rec.Kind {
+	case wal.KindRows:
+		if rec.Site == AssignSite {
+			err = t.sess.ProcessRows(rec.Rows)
+		} else {
+			err = t.sess.ProcessRowsAt(rec.Site, rec.Rows)
+		}
+	case wal.KindItems:
+		items := make([]distmat.WeightedItem, len(rec.Items))
+		for i, it := range rec.Items {
+			items[i] = distmat.WeightedItem{Elem: it.Elem, Weight: it.Weight}
+		}
+		if rec.Site == AssignSite {
+			err = t.sess.ProcessItems(items)
+		} else {
+			err = t.sess.ProcessItemsAt(rec.Site, items)
+		}
+	default:
+		return fmt.Errorf("service: wal replay: unexpected %v record", rec.Kind)
+	}
+	if n := t.sess.Count() - before; n > 0 {
+		t.ingested.Add(n)
+		t.batches.Add(1)
+		t.dirty = true
+	}
+	return err
 }
 
 // IngestBlock applies one numbered wire-stream block at an explicit site.

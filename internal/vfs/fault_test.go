@@ -1,0 +1,180 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeThrough(t *testing.T, f File, data []byte) (int, error) {
+	t.Helper()
+	return f.Write(data)
+}
+
+func TestFaultPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault(OS())
+	path := filepath.Join(dir, "a")
+	file, err := f.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := file.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := file.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "hello" {
+		t.Fatalf("file content %q", got)
+	}
+	if f.Count(OpWrite) != 1 || f.Count(OpSync) != 1 {
+		t.Fatalf("counts: write=%d sync=%d", f.Count(OpWrite), f.Count(OpSync))
+	}
+}
+
+func TestFaultStickyAndNth(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault(OS())
+	boom := errors.New("boom")
+	file, err := f.OpenFile(filepath.Join(dir, "a"), os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+
+	f.FailNth(OpWrite, 1, boom) // second write fails, once
+	if _, err := writeThrough(t, file, []byte("x")); err != nil {
+		t.Fatalf("write 0: %v", err)
+	}
+	if _, err := writeThrough(t, file, []byte("y")); !errors.Is(err, boom) {
+		t.Fatalf("write 1 = %v, want boom", err)
+	}
+	if _, err := writeThrough(t, file, []byte("z")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+
+	f.FailOp(OpSync, boom)
+	if err := file.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sticky sync = %v", err)
+	}
+	if err := file.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sticky sync stays = %v", err)
+	}
+	f.ClearOp(OpSync)
+	if err := file.Sync(); err != nil {
+		t.Fatalf("cleared sync: %v", err)
+	}
+}
+
+func TestFaultPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault(OS())
+	boom := errors.New("torn")
+	path := filepath.Join(dir, "a")
+	file, err := f.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	f.PartialWriteNth(0, 3, boom)
+	n, err := file.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, boom) {
+		t.Fatalf("torn write = %d, %v", n, err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "abc" {
+		t.Fatalf("on-disk %q, want prefix abc", got)
+	}
+	// The rule is one-shot.
+	if _, err := file.Write([]byte("gh")); err != nil {
+		t.Fatalf("next write: %v", err)
+	}
+}
+
+func TestFaultWriteBudget(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault(OS())
+	dead := errors.New("power cut")
+	path := filepath.Join(dir, "a")
+	file, err := f.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	f.LimitWriteBytes(5, dead)
+	if _, err := file.Write([]byte("abc")); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	n, err := file.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, dead) {
+		t.Fatalf("crossing write = %d, %v; want 2 bytes then power cut", n, err)
+	}
+	if _, err := file.Write([]byte("h")); !errors.Is(err, dead) {
+		t.Fatalf("post-cut write = %v, want sticky failure", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "abcde" {
+		t.Fatalf("on-disk %q, want exactly 5 bytes", got)
+	}
+	f.Reset()
+	if _, err := file.Write([]byte("!")); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+func TestFaultMatch(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFault(OS())
+	boom := errors.New("boom")
+	f.Match(func(path string) bool { return strings.Contains(path, "wal") })
+	f.FailOp(OpSync, boom)
+
+	walFile, err := f.OpenFile(filepath.Join(dir, "wal-1.seg"), os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer walFile.Close()
+	other, err := f.OpenFile(filepath.Join(dir, "x.ckpt"), os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+
+	if err := walFile.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("matched sync = %v", err)
+	}
+	if err := other.Sync(); err != nil {
+		t.Fatalf("unmatched sync = %v", err)
+	}
+	if f.Count(OpSync) != 1 {
+		t.Fatalf("unmatched op counted: %d", f.Count(OpSync))
+	}
+}
+
+func TestCreateTempUnique(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	a, err := CreateTemp(fsys, dir, ".ckpt-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := CreateTemp(fsys, dir, ".ckpt-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.Name() == b.Name() {
+		t.Fatalf("duplicate temp name %s", a.Name())
+	}
+	for _, f := range []File{a, b} {
+		base := filepath.Base(f.Name())
+		if !strings.HasPrefix(base, ".ckpt-") {
+			t.Fatalf("temp name %s lacks prefix", base)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// segPrefix/segSuffix frame segment filenames: wal-%020d.seg, the
+// zero-padded first LSN the segment may contain.
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+func (l *Log) segmentPath(start uint64) string {
+	return filepath.Join(l.opts.Dir, fmt.Sprintf("%s%020d%s", segPrefix, start, segSuffix))
+}
+
+// parseSegmentName extracts the start LSN from a segment filename.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	digits := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if len(digits) != 20 {
+		return 0, false
+	}
+	start, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return start, true
+}
+
+// recover scans the log directory, truncates a torn tail, replays intact
+// records through fn, and leaves the log positioned to append. Called
+// from Open before any concurrency exists, so it touches fields without
+// holding mu.
+//
+//distlint:caller-holds mu
+func (l *Log) recover(fn func(*Record) error) error {
+	entries, err := l.fs.ReadDir(l.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("wal: listing %s: %w", l.opts.Dir, err)
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		start, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		segs = append(segs, segmentInfo{start: start, path: filepath.Join(l.opts.Dir, e.Name())})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+
+	if len(segs) == 0 {
+		// Fresh log: LSN 0 means "none", assignment starts at 1.
+		l.nextLSN = 1
+		return l.createSegment(1)
+	}
+
+	var (
+		rd      recordReader
+		lastLSN uint64
+	)
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		size, terr, err := l.replaySegment(&rd, seg.path, &lastLSN, fn)
+		if err != nil {
+			return err
+		}
+		if terr != nil {
+			if !last {
+				// The writer rotates only after a clean flush, so a later
+				// segment existing past a bad record means this is damage,
+				// not a crash artifact.
+				return fmt.Errorf("%w: %s: %v", ErrCorrupt, seg.path, terr)
+			}
+			if err := l.truncateTail(seg.path, size); err != nil {
+				return err
+			}
+			l.torn++
+			l.opts.Logf("wal: torn tail: truncated %s to %d bytes (%v)", seg.path, size, terr)
+		}
+		segs[i].bytes = size
+	}
+
+	l.nextLSN = lastLSN + 1
+	l.durableLSN = lastLSN
+	l.stagedLSN = lastLSN
+
+	tail := segs[len(segs)-1]
+	f, err := l.fs.OpenFile(tail.path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("wal: opening tail segment: %w", err)
+	}
+	if _, err := f.Seek(tail.bytes, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: seeking tail segment: %w", err)
+	}
+	l.seg, l.segPath, l.segStart, l.segDurable = f, tail.path, tail.start, tail.bytes
+	l.segments = segs[:len(segs)-1]
+	return nil
+}
+
+// replaySegment reads one segment and replays its records. It returns
+// the byte offset of the first bad record (== file size when the whole
+// segment is intact) and, separately, what was wrong with it; the caller
+// decides whether that is a torn tail or corruption. A replay-callback
+// error aborts immediately.
+func (l *Log) replaySegment(rd *recordReader, path string, lastLSN *uint64, fn func(*Record) error) (int64, error, error) {
+	data, err := l.readAll(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, next, err := rd.next(data, off)
+		if err != nil {
+			return int64(off), err, nil
+		}
+		if rec.LSN <= *lastLSN {
+			return int64(off), fmt.Errorf("%w: LSN %d after %d", errMalformed, rec.LSN, *lastLSN), nil
+		}
+		if err := fn(rec); err != nil {
+			return int64(off), nil, fmt.Errorf("wal: replaying LSN %d: %w", rec.LSN, err)
+		}
+		*lastLSN = rec.LSN
+		off = next
+	}
+	return int64(off), nil, nil
+}
+
+// readAll loads a whole segment through the FS seam.
+func (l *Log) readAll(path string) ([]byte, error) {
+	f, err := vfs.Open(l.fs, path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := l.fs.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, 0, info.Size())
+	buf := make([]byte, 1<<20)
+	for {
+		n, err := f.Read(buf)
+		data = append(data, buf[:n]...)
+		if err == io.EOF {
+			return data, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// truncateTail cuts a torn tail off a segment and syncs the result.
+func (l *Log) truncateTail(path string, size int64) error {
+	f, err := l.fs.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("wal: truncating torn tail: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("wal: truncating torn tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: truncating torn tail: %w", err)
+	}
+	return nil
+}
+
+// createSegment opens the first segment of a fresh log. Only called
+// from recover, before the log is shared.
+//
+//distlint:caller-holds mu
+func (l *Log) createSegment(start uint64) error {
+	path := l.segmentPath(start)
+	f, err := l.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if err := l.fs.SyncDir(l.opts.Dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	l.seg, l.segPath, l.segStart, l.segDurable = f, path, start, 0
+	return nil
+}

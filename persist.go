@@ -1,9 +1,11 @@
 package distmat
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"reflect"
 
 	"repro/internal/core"
 	"repro/internal/hh"
@@ -17,7 +19,11 @@ import (
 // where the snapshot was taken — same estimates, same site thresholds, same
 // communication tally, same assigner position. This is the substrate of
 // internal/service's checkpointed recovery; any at-least-once ingestion
-// pipeline can use it directly.
+// pipeline can use it directly. The same determinism is what makes the
+// service's write-ahead log replayable: a persistable session fed the
+// identical batch sequence (restore, then re-apply the logged records in
+// LSN order) reconverges to the identical state, which the recovery
+// tests verify with StateEqual against a never-crashed oracle.
 //
 // Persistable sessions are the deterministic ones: matrix "p2",
 // heavy-hitters "p2" and "exact", and quantile sessions — each sharded or
@@ -257,6 +263,24 @@ func (s *Session) SaveState(w io.Writer) error {
 		st.Exact = s.exact.RawData()
 	}
 	return gob.NewEncoder(w).Encode(st)
+}
+
+// StateEqual reports whether two SaveState streams describe the same
+// session state. The stream is not byte-canonical — the map-backed
+// tracker snapshots (heavy-hitters, quantile) gob-encode their counters
+// in map iteration order — so replica equivalence (a recovered process
+// against its never-crashed oracle, a restored checkpoint against the
+// session it saved) must be checked structurally, not with bytes.Equal.
+// A stream that fails to decode is an error, not inequality.
+func StateEqual(a, b []byte) (bool, error) {
+	var sa, sb sessionState
+	if err := gob.NewDecoder(bytes.NewReader(a)).Decode(&sa); err != nil {
+		return false, fmt.Errorf("distmat: decoding first state: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&sb); err != nil {
+		return false, fmt.Errorf("distmat: decoding second state: %w", err)
+	}
+	return reflect.DeepEqual(sa, sb), nil
 }
 
 // RestoreSession rebuilds a session saved with SaveState. The restored

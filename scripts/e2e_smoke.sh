@@ -7,6 +7,13 @@
 # whole tentpole: framed codec, backpressure window, backoff reconnect,
 # checkpointed watermarks, exactly-once resume.
 #
+# Phase two turns on the durability screws: acked HTTP batches against the
+# write-ahead log while a loop hammers explicit checkpoints, then another
+# kill -9 (likely mid-checkpoint-write). After restart every acknowledged
+# batch must be present (WAL replay), only whole batches may exist (torn
+# tail truncated), no orphaned .ckpt-* temp survives the sweep, and
+# /metrics must carry a healthy durability section.
+#
 # Usage: scripts/e2e_smoke.sh  (run from anywhere inside the repo)
 set -euo pipefail
 
@@ -158,4 +165,72 @@ go run "$WORK/check.go" "$WORK/oracle.json" "$WORK/query.json" "$WORK/metrics.js
 
 echo "e2e: reconnect evidence:"
 grep -E "reconnect|retrans" "$WORK/site.log" | tail -2 || true
+
+# ---- Phase two: WAL durability under kill -9 during checkpoint writes ----
+
+HH=hhsmoke
+BATCH_ITEMS=5
+curl -fsS -X PUT -H 'Content-Type: application/json' \
+  -d '{"kind":"hh","sites":4,"epsilon":0.05,"seed":11}' \
+  "$HTTP/trackers/$HH" >/dev/null
+
+# Hammer explicit checkpoints so the kill below lands mid-checkpoint-write
+# with high probability (on top of the 200ms periodic loop).
+(while :; do
+  curl -fsS -X POST "$HTTP/trackers/$HH/checkpoint" >/dev/null 2>&1 || true
+done) &
+HAMMER_PID=$!
+
+echo "e2e: acked WAL ingestion with checkpoint hammer"
+ACKED=0
+SENT=0
+for i in $(seq 1 200); do
+  SENT=$((SENT + 1))
+  if curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "{\"site\":$((i % 4)),\"items\":[{\"elem\":$i},{\"elem\":$((i * 7))},{\"elem\":$((i * 13))},{\"elem\":$((i % 97))},{\"elem\":$((i * 31))}]}" \
+    "$HTTP/trackers/$HH/items" >/dev/null 2>&1; then
+    ACKED=$((ACKED + 1))
+  fi
+done
+
+echo "e2e: kill -9 coordinator under checkpoint hammer ($ACKED/$SENT batches acked)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+kill "$HAMMER_PID" 2>/dev/null || true
+wait "$HAMMER_PID" 2>/dev/null || true
+
+start_serve
+wait_healthy
+
+# No orphaned checkpoint temp may survive the Open sweep.
+TEMPS=$(find "$WORK/data" -maxdepth 1 -name '.ckpt-*' | wc -l)
+if [ "$TEMPS" -ne 0 ]; then
+  echo "e2e: $TEMPS orphaned .ckpt-* temp files survived restart" >&2
+  ls -la "$WORK/data" >&2
+  exit 1
+fi
+
+COUNT=$(curl -fsS "$HTTP/trackers/$HH" | sed -n 's/.*"count":\([0-9]*\).*/\1/p')
+MIN=$((ACKED * BATCH_ITEMS))
+MAX=$((SENT * BATCH_ITEMS))
+if [ -z "$COUNT" ] || [ "$COUNT" -lt "$MIN" ] || [ "$COUNT" -gt "$MAX" ]; then
+  echo "e2e: recovered count $COUNT outside [$MIN,$MAX] — acked batches lost" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+if [ $((COUNT % BATCH_ITEMS)) -ne 0 ]; then
+  echo "e2e: recovered count $COUNT is not a whole number of batches (torn batch applied)" >&2
+  exit 1
+fi
+
+curl -fsS "$HTTP/metrics" >"$WORK/metrics2.json"
+if ! grep -q '"durability"' "$WORK/metrics2.json" || ! grep -q '"wal"' "$WORK/metrics2.json"; then
+  echo "e2e: /metrics is missing the durability/wal section" >&2
+  exit 1
+fi
+if grep -q '"degraded":true' "$WORK/metrics2.json"; then
+  echo "e2e: coordinator restarted degraded" >&2
+  exit 1
+fi
+echo "e2e: WAL recovery holds (count=$COUNT, acked floor=$MIN); durability metrics healthy"
 echo "e2e: PASS"

@@ -21,11 +21,21 @@
 // keep serving, until the background loop re-arms durability. See the
 // README's "Durability model" for which window each mechanism covers.
 //
+// Ingestion runs on a fixed shared worker pool (-pool-workers), so the
+// daemon's goroutine count is O(pool), not O(trackers). With
+// -max-resident N the daemon additionally caps how many tracker sessions
+// stay in memory: past the cap, the least-recently-used idle tracker is
+// hibernated to its checkpoint and faulted back in — bit-identically,
+// via checkpoint restore + WAL replay — on its next ingest or query.
+// Together these let one daemon host far more trackers than fit as live
+// sessions. See the README's "Tenancy" section.
+//
 // Usage:
 //
 //	distserve [-addr :9146] [-wire :9147] [-data DIR] [-checkpoint 30s]
 //	          [-wal] [-wal-flush 0s] [-wal-segment 16777216]
-//	          [-quarantine-corrupt] [-shards N] [-queue N] [-quiet]
+//	          [-quarantine-corrupt] [-pool-workers N] [-max-resident N]
+//	          [-queue N] [-quiet]
 //
 // See the README's "Running distserve" and "Multi-node deployment"
 // sections for walkthroughs.
@@ -57,8 +67,10 @@ func main() {
 		walFl   = flag.Duration("wal-flush", 0, "WAL group-commit interval (0 = leader commit per batch)")
 		walSeg  = flag.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (default 16MiB)")
 		quarant = flag.Bool("quarantine-corrupt", false, "set corrupt checkpoints aside as .corrupt and keep starting")
-		shards  = flag.Int("shards", 0, "ingestion workers per tracker (default 4)")
-		queue   = flag.Int("queue", 0, "per-shard queue depth in batches (default 16)")
+		pool    = flag.Int("pool-workers", 0, "shared ingestion worker pool size (default 4)")
+		maxRes  = flag.Int("max-resident", 0, "max tracker sessions resident in memory; 0 = unlimited (needs -data)")
+		shards  = flag.Int("shards", 0, "deprecated alias for -pool-workers")
+		queue   = flag.Int("queue", 0, "per-lane queue depth in batches (default 16)")
 		timeout = flag.Duration("enqueue-timeout", 0, "backpressure bound before 503 (default 5s)")
 		quiet   = flag.Bool("quiet", false, "suppress operational logging")
 	)
@@ -77,6 +89,8 @@ func main() {
 		WALFlushInterval:   *walFl,
 		WALSegmentBytes:    *walSeg,
 		QuarantineCorrupt:  *quarant,
+		PoolWorkers:        *pool,
+		MaxResident:        *maxRes,
 		Shards:             *shards,
 		QueueDepth:         *queue,
 		EnqueueTimeout:     *timeout,

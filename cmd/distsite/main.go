@@ -194,7 +194,10 @@ func main() {
 		}
 		replayed += n
 	}
-	snap := tr.Snapshot()
+	snap, err := tr.Snapshot()
+	if err != nil {
+		fatalf("oracle: %v", err)
+	}
 	out := map[string]any{
 		"rows":      replayed,
 		"count":     snap.Count,

@@ -235,6 +235,19 @@ func (r *Runner) IngestBench() ([]IngestResult, error) {
 		out = append(out, res)
 	}
 
+	// The tenancy counterpart of p2-wal: the same stream dealt round-robin
+	// across 8 trackers on a manager capped at MaxResident=4, so every
+	// block lands on a hibernated tracker and pays a fault-in (checkpoint
+	// restore + WAL replay) before it applies. The gap to p2-wal is the
+	// worst-case price of hibernation churn on the ingest path.
+	{
+		res, err := tenancyIngestBench(cfg, rows, matDim)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+
 	// Blocked vs unblocked Frequent Directions: the sketch-level hot path
 	// with no protocol overhead. The unblocked baseline factorizes after
 	// every row (block 1, the row-at-a-time path); the blocked sketch uses
@@ -404,6 +417,70 @@ func walIngestBench(cfg Config, rows [][]float64, matDim int) (IngestResult, err
 		Sites: cfg.Sites, Epsilon: 0.1, Dim: matDim, N: len(rows),
 		Seconds:  elapsed.Seconds(),
 		Messages: tr.Stats().Total(),
+	}
+	if res.Seconds > 0 {
+		res.RowsPerSec = float64(res.N) / res.Seconds
+	}
+	if res.N > 0 {
+		res.MessagesPerUpdate = float64(res.Messages) / float64(res.N)
+	}
+	return res, nil
+}
+
+// tenancyIngestBench times the p2-tenancy entry: the p2-wal stream dealt
+// round-robin across trackers on a WAL-enabled manager whose resident
+// cap is half the tracker count, so the run alternates hibernations and
+// fault-ins continuously — the eviction checkpoint, session restore, and
+// per-tracker WAL-replay cursor all sit on the timed path. The artifact
+// tracks the million-tracker tenancy machinery's overhead release over
+// release; TestPoolNoSlowerGuard enforces the shared pool's floor in
+// make perf-guard.
+func tenancyIngestBench(cfg Config, rows [][]float64, matDim int) (IngestResult, error) {
+	const (
+		trackers = 8
+		resident = 4
+	)
+	var res IngestResult
+	dir, err := os.MkdirTemp("", "distmat-bench-tenancy-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	mgr, err := service.Open(service.Options{DataDir: dir, WAL: true, MaxResident: resident})
+	if err != nil {
+		return res, err
+	}
+	defer mgr.Close()
+	trs := make([]*service.Tracker, trackers)
+	for i := range trs {
+		trs[i], err = mgr.Create(fmt.Sprintf("bench%d", i), service.Spec{
+			Kind: service.KindMatrix, Protocol: "p2", Sites: cfg.Sites,
+			Epsilon: 0.1, Dim: matDim, Seed: cfg.Seed, Fast: true,
+		})
+		if err != nil {
+			return res, err
+		}
+	}
+	ctx := context.Background()
+	const block = 1024
+	start := time.Now()
+	for i, b := 0, 0; i < len(rows); i, b = i+block, b+1 {
+		end := min(i+block, len(rows))
+		if err := trs[b%trackers].IngestRows(ctx, 0, rows[i:end]); err != nil {
+			return res, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	var messages int64
+	for _, tr := range trs {
+		messages += tr.Stats().Total()
+	}
+	res = IngestResult{
+		Problem: "matrix", Protocol: "p2-tenancy", Mode: "fast",
+		Sites: cfg.Sites, Epsilon: 0.1, Dim: matDim, N: len(rows),
+		Seconds:  elapsed.Seconds(),
+		Messages: messages,
 	}
 	if res.Seconds > 0 {
 		res.RowsPerSec = float64(res.N) / res.Seconds

@@ -157,6 +157,13 @@ func (m *Manager) checkpointTracker(t *Tracker) error {
 	// in the same critical section — they describe exactly the blocks the
 	// serialized state contains.
 	t.mu.Lock()
+	if t.sess == nil {
+		// Hibernated stub: its checkpoint file already holds exactly its
+		// state (only clean trackers hibernate), so there is nothing newer
+		// to write — and nothing to serialize it from.
+		t.mu.Unlock()
+		return nil
+	}
 	var state bytes.Buffer
 	err := t.sess.SaveState(&state)
 	var wmSnap map[int]uint64
@@ -299,31 +306,41 @@ func (m *Manager) restoreAll() error {
 	return nil
 }
 
-// restoreOne loads one checkpoint file.
-func (m *Manager) restoreOne(path string) (*Tracker, error) {
+// readEnvelope loads and validates one checkpoint file — the shared
+// front half of a full restore (Open) and a hibernation fault-in.
+func (m *Manager) readEnvelope(path string) (envelope, error) {
+	var env envelope
 	f, err := vfs.Open(m.fs, path)
 	if err != nil {
-		return nil, err
+		return env, err
 	}
 	defer f.Close()
-	var env envelope
 	if err := gob.NewDecoder(f).Decode(&env); err != nil {
-		return nil, fmt.Errorf("decoding envelope: %w", err)
+		return env, fmt.Errorf("decoding envelope: %w", err)
 	}
 	if env.Version != envelopeVersion {
-		return nil, fmt.Errorf("checkpoint version %d, want %d", env.Version, envelopeVersion)
+		return env, fmt.Errorf("checkpoint version %d, want %d", env.Version, envelopeVersion)
 	}
 	if err := CheckName(env.Name); err != nil {
-		return nil, err
+		return env, err
 	}
 	if want := strings.TrimSuffix(filepath.Base(path), checkpointExt); env.Name != want {
-		return nil, fmt.Errorf("checkpoint names tracker %q, file says %q", env.Name, want)
+		return env, fmt.Errorf("checkpoint names tracker %q, file says %q", env.Name, want)
+	}
+	return env, nil
+}
+
+// restoreOne loads one checkpoint file into a fresh tracker.
+func (m *Manager) restoreOne(path string) (*Tracker, error) {
+	env, err := m.readEnvelope(path)
+	if err != nil {
+		return nil, err
 	}
 	sess, err := distmat.RestoreSession(bytes.NewReader(env.State))
 	if err != nil {
 		return nil, err
 	}
-	t := newTracker(env.Name, env.Spec, sess, m.opts.Shards, m.opts.QueueDepth, m.opts.EnqueueTimeout)
+	t := newTracker(m, env.Name, env.Spec, sess)
 	t.mu.Lock()
 	for s, a := range env.Watermarks {
 		// Everything the checkpoint describes is both applied and durable

@@ -1,0 +1,9 @@
+package service
+
+// SetMaxBodyBytes shrinks the ingest body cap for tests — exercising the
+// 413 path without posting 64 MiB. The returned func restores it.
+func SetMaxBodyBytes(n int64) (restore func()) {
+	old := maxBodyBytes
+	maxBodyBytes = n
+	return func() { maxBodyBytes = old }
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"strconv"
 
@@ -11,7 +13,8 @@ import (
 )
 
 // maxBodyBytes bounds an ingest request body (64 MiB ≈ 90k rows at d=90).
-const maxBodyBytes = 64 << 20
+// A variable so tests can shrink it without posting 64 MiB.
+var maxBodyBytes int64 = 64 << 20
 
 // Handler returns the manager's HTTP/JSON surface (see the package
 // comment for the route table).
@@ -61,6 +64,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", degradedRetryAfter)
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, errTooLarge):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrBadName),
 		errors.Is(err, distmat.ErrInvalidConfig),
 		errors.Is(err, distmat.ErrUnknownProtocol),
@@ -80,17 +85,36 @@ func writeErr(w http.ResponseWriter, err error) {
 // errBadRequest marks malformed request bodies and parameters.
 var errBadRequest = errors.New("service: bad request")
 
+// errTooLarge marks request bodies over the ingest size cap (413, so
+// clients can tell "split the batch" apart from "fix the JSON").
+var errTooLarge = errors.New("service: request body too large")
+
 func badRequestf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
 }
 
-// decodeBody strictly decodes a JSON body into v.
+// decodeBody strictly decodes a JSON body into v: unknown fields,
+// trailing data after the document, and oversized bodies are all
+// rejected rather than silently tolerated.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: body exceeds %d bytes", errTooLarge, mbe.Limit)
+		}
 		return badRequestf("decoding body: %v", err)
+	}
+	// One JSON document is the whole body: trailing garbage means the
+	// client serialized something other than what we validated.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: body exceeds %d bytes", errTooLarge, mbe.Limit)
+		}
+		return badRequestf("trailing data after JSON body")
 	}
 	return nil
 }
@@ -268,7 +292,9 @@ func (m *Manager) handleIngestItems(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ingested": len(items), "count": t.Count()})
 }
 
-// phisOf parses the repeated φ query parameter.
+// phisOf parses the repeated φ query parameter, rejecting NaN, ±Inf,
+// and anything outside the open interval (0, 1) here at the HTTP layer —
+// a clean 400 instead of whatever a session internal would make of it.
 func phisOf(r *http.Request, def []float64) ([]float64, error) {
 	raw := r.URL.Query()["phi"]
 	if len(raw) == 0 {
@@ -279,6 +305,9 @@ func phisOf(r *http.Request, def []float64) ([]float64, error) {
 		v, err := strconv.ParseFloat(s, 64)
 		if err != nil {
 			return nil, badRequestf("phi %q: %v", s, err)
+		}
+		if math.IsNaN(v) || v <= 0 || v >= 1 {
+			return nil, badRequestf("phi %q outside (0, 1)", s)
 		}
 		out[i] = v
 	}
@@ -293,7 +322,11 @@ func (m *Manager) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	switch t.Kind() {
 	case KindMatrix:
-		snap := t.Snapshot()
+		snap, err := t.Snapshot()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
 		resp := map[string]any{
 			"kind":      KindMatrix,
 			"count":     snap.Count,
@@ -322,7 +355,10 @@ func (m *Manager) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, badRequestf("heavy-hitters query needs exactly one phi parameter"))
 			return
 		}
-		hits, err := t.HeavyHitters(phis[0])
+		// One tracker-lock critical section answers the hits and the
+		// snapshot together, so count/total always describe the same
+		// instant as the heavy-hitter set even under concurrent ingest.
+		hits, snap, err := t.QueryHeavyHitters(phis[0])
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -335,7 +371,6 @@ func (m *Manager) handleQuery(w http.ResponseWriter, r *http.Request) {
 		for i, h := range hits {
 			out[i] = hit{Elem: h.Elem, Weight: h.Weight}
 		}
-		snap := t.Snapshot()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"kind": KindHH, "count": snap.Count, "phi": phis[0],
 			"total": snap.Total, "heavy_hitters": out,
@@ -346,20 +381,21 @@ func (m *Manager) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, err)
 			return
 		}
+		// All φ values cut one digest instant (single lock acquisition),
+		// so the answers are monotone in φ and consistent with count/total.
+		vals, snap, err := t.QueryQuantiles(phis)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
 		type qv struct {
 			Phi   float64 `json:"phi"`
 			Value uint64  `json:"value"`
 		}
 		out := make([]qv, len(phis))
 		for i, phi := range phis {
-			v, err := t.Quantile(phi)
-			if err != nil {
-				writeErr(w, err)
-				return
-			}
-			out[i] = qv{Phi: phi, Value: v}
+			out[i] = qv{Phi: phi, Value: vals[i]}
 		}
-		snap := t.Snapshot()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"kind": KindQuantile, "count": snap.Count,
 			"total": snap.Total, "quantiles": out,

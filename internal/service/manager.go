@@ -61,11 +61,29 @@ type Options struct {
 	// partial writes, fsync errors, and power cuts.
 	FS vfs.FS
 
-	// Shards is the number of ingestion workers per tracker (default 4).
+	// PoolWorkers is the size of the manager-wide shared ingestion worker
+	// pool (default: Shards, then 4). Every tracker's batches are
+	// dispatched onto these workers — goroutine count is O(PoolWorkers),
+	// not O(trackers) — with per-site FIFO order preserved by hashing
+	// (tracker, site) to a fixed pool lane.
+	PoolWorkers int
+
+	// MaxResident caps how many tracker sessions stay resident in memory
+	// (0: unlimited). Past the cap, the least-recently-touched clean
+	// tracker is hibernated: checkpointed, its session released, and the
+	// Tracker left as a stub that faults back in on the next ingest or
+	// query. Requires DataDir; only persistable trackers hibernate, and
+	// never while the manager is degraded.
+	MaxResident int
+
+	// Shards is the legacy per-tracker worker count knob; it now seeds
+	// PoolWorkers when that is unset (default 4).
+	//
+	// Deprecated: set PoolWorkers.
 	Shards int
 
-	// QueueDepth is the per-shard buffered-channel capacity, in batches
-	// (default 16).
+	// QueueDepth is the per-lane buffered-channel capacity of the shared
+	// pool, in batches (default 16).
 	QueueDepth int
 
 	// EnqueueTimeout bounds how long an ingest waits for queue space
@@ -80,6 +98,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Shards <= 0 {
 		o.Shards = 4
+	}
+	if o.PoolWorkers <= 0 {
+		o.PoolWorkers = o.Shards
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 16
@@ -109,6 +130,20 @@ type Manager struct {
 	mu       sync.RWMutex
 	trackers map[string]*Tracker //distlint:guarded-by mu
 	closed   bool                //distlint:guarded-by mu
+
+	// pool is the shared ingestion worker set every tracker's mailbox
+	// dispatches onto.
+	pool *workerPool
+
+	// Tenancy accounting: resident counts trackers currently holding
+	// their session, faults counts hibernated sessions restored on
+	// touch, evictions counts sessions released by the MaxResident
+	// sweep. hibMu admits one eviction sweep at a time (TryLock:
+	// concurrent callers skip; the winner sweeps down to the cap).
+	resident  atomic.Int64
+	faults    atomic.Int64
+	evictions atomic.Int64
+	hibMu     sync.Mutex
 
 	stopCkpt chan struct{}
 	ckptWG   sync.WaitGroup
@@ -144,12 +179,18 @@ func Open(opts Options) (*Manager, error) {
 	if opts.WAL && opts.DataDir == "" {
 		return nil, fmt.Errorf("service: %w: WAL requires DataDir", errBadConfig)
 	}
+	if opts.MaxResident > 0 && opts.DataDir == "" {
+		return nil, fmt.Errorf("service: %w: MaxResident requires DataDir (hibernation evicts to checkpoints)", errBadConfig)
+	}
+	m.pool = newWorkerPool(opts.PoolWorkers, opts.QueueDepth)
 	if opts.DataDir != "" {
 		if err := m.fs.MkdirAll(opts.DataDir, 0o755); err != nil {
+			m.pool.close()
 			return nil, fmt.Errorf("service: data dir: %w", err)
 		}
 		if err := m.restoreAll(); err != nil {
 			m.closeTrackers()
+			m.pool.close()
 			return nil, err
 		}
 	}
@@ -163,6 +204,7 @@ func Open(opts Options) (*Manager, error) {
 		}, m.replayWAL)
 		if err != nil {
 			m.closeTrackers()
+			m.pool.close()
 			return nil, fmt.Errorf("service: opening wal: %w", err)
 		}
 		m.wal = wlog
@@ -179,6 +221,9 @@ func Open(opts Options) (*Manager, error) {
 		m.ckptWG.Add(1)
 		go m.checkpointLoop()
 	}
+	// A restore + replay may have brought back more sessions than the
+	// resident cap allows; hibernate down to it before serving.
+	m.maybeEnforce()
 	return m, nil
 }
 
@@ -222,7 +267,7 @@ func (m *Manager) replayWAL(rec *wal.Record) error {
 			m.opts.Logf("wal replay: create %q (LSN %d): %v (skipped)", rec.Tracker, rec.LSN, err)
 			return nil
 		}
-		t := newTracker(rec.Tracker, spec, sess, m.opts.Shards, m.opts.QueueDepth, m.opts.EnqueueTimeout)
+		t := newTracker(m, rec.Tracker, spec, sess)
 		t.mu.Lock()
 		t.walLSN = rec.LSN
 		t.mu.Unlock()
@@ -320,7 +365,7 @@ func (m *Manager) Create(name string, spec Spec) (*Tracker, error) {
 		sess.Close()
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	t := newTracker(name, spec, sess, m.opts.Shards, m.opts.QueueDepth, m.opts.EnqueueTimeout)
+	t := newTracker(m, name, spec, sess)
 	var createLSN uint64
 	if m.dur != nil && t.persistable {
 		t.dur = m.dur
@@ -337,6 +382,7 @@ func (m *Manager) Create(name string, spec Spec) (*Tracker, error) {
 		if jerr != nil {
 			m.mu.Unlock()
 			t.close()
+			m.resident.Add(-1)
 			return nil, jerr
 		}
 		t.mu.Lock()
@@ -355,9 +401,11 @@ func (m *Manager) Create(name string, spec Spec) (*Tracker, error) {
 			m.mu.Unlock()
 			t.deleted.Store(true)
 			t.close()
+			m.resident.Add(-1)
 			return nil, err
 		}
 	}
+	m.maybeEnforce()
 	return t, nil
 }
 
@@ -422,6 +470,10 @@ func (m *Manager) Delete(name string) error {
 	// trackers, and ckptMu orders the file removal below after any
 	// checkpoint already in flight.
 	t.deleted.Store(true)
+	if t.resident() {
+		// A hibernated stub already gave its slot back at eviction.
+		m.resident.Add(-1)
+	}
 	t.close()
 	if m.opts.DataDir != "" {
 		t.ckptMu.Lock()
@@ -459,6 +511,9 @@ func (m *Manager) Close() error {
 	for _, t := range m.List() {
 		t.close()
 	}
+	// Every tracker has drained its in-flight batches; the pool workers
+	// have nothing left to deliver.
+	m.pool.close()
 	err := m.CheckpointAll()
 	// The final checkpoint covers the whole log (when it succeeded), so
 	// CheckpointAll's compaction pass has already shrunk the WAL; close

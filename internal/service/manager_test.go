@@ -344,7 +344,10 @@ func TestFastIngestSpec(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := tr.Snapshot()
+	snap, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if snap.Count != 4*64 {
 		t.Fatalf("count %d, want %d", snap.Count, 4*64)
 	}

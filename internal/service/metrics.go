@@ -47,9 +47,30 @@ type TrackerMetrics struct {
 	NetRows      int64 `json:"net_rows,omitempty"`
 	NetDupBlocks int64 `json:"net_dup_blocks,omitempty"`
 
+	// Resident reports whether the tracker currently holds its session;
+	// false means it is hibernated — a stub whose state lives in its
+	// checkpoint (plus the WAL suffix) until the next touch faults it in.
+	Resident bool `json:"resident"`
+
 	Persistable        bool   `json:"persistable"`
 	LastCheckpointUnix int64  `json:"last_checkpoint_unix,omitempty"`
 	CheckpointError    string `json:"checkpoint_error,omitempty"`
+}
+
+// TenancyMetrics is the /metrics tenancy section: the shared ingestion
+// worker pool and the hibernation working set. Evictions and faults
+// count session round-trips through the checkpoint + WAL-replay path;
+// PoolQueueLen is the batches waiting across all pool lanes.
+type TenancyMetrics struct {
+	Trackers    int   `json:"trackers"`
+	Resident    int64 `json:"resident"`
+	Hibernated  int64 `json:"hibernated"`
+	MaxResident int   `json:"max_resident,omitempty"`
+	Faults      int64 `json:"faults"`
+	Evictions   int64 `json:"evictions"`
+
+	PoolWorkers  int `json:"pool_workers"`
+	PoolQueueLen int `json:"pool_queue_len"`
 }
 
 // WireMetrics is the /metrics network section: the wire listener's frame
@@ -87,6 +108,9 @@ type Metrics struct {
 	UptimeSeconds float64                   `json:"uptime_seconds"`
 	Trackers      map[string]TrackerMetrics `json:"trackers"`
 
+	// Tenancy is the shared-pool and hibernation section.
+	Tenancy TenancyMetrics `json:"tenancy"`
+
 	// QuarantinedCheckpoints counts corrupt checkpoint files renamed
 	// aside by Options.QuarantineCorrupt during Open.
 	QuarantinedCheckpoints int64 `json:"quarantined_checkpoints,omitempty"`
@@ -103,6 +127,8 @@ type Metrics struct {
 // stalls it: counters are atomic, the communication accountant is
 // mutex-guarded, and sharded trackers are read through the relaxed path
 // (no merge barrier — the tally may trail in-flight blocks slightly).
+// A hibernated tracker answers from its stub caches — a /metrics scrape
+// must never fault sessions back in.
 func (t *Tracker) metrics() TrackerMetrics {
 	stats := t.statsRelaxed()
 	count := t.Count()
@@ -122,6 +148,7 @@ func (t *Tracker) metrics() TrackerMetrics {
 		UpUnits:    stats.UpUnits,
 		DownUnits:  stats.DownUnits,
 
+		Resident:    t.resident(),
 		Persistable: t.persistable,
 	}
 	if shards, rows := t.ShardInfo(); shards > 1 {
@@ -165,11 +192,25 @@ func (m *Manager) Metrics() Metrics {
 		}
 	}
 	var netRows int64
+	ten := TenancyMetrics{
+		MaxResident:  m.opts.MaxResident,
+		Faults:       m.faults.Load(),
+		Evictions:    m.evictions.Load(),
+		PoolWorkers:  m.opts.PoolWorkers,
+		PoolQueueLen: m.pool.queueLen(),
+	}
 	for _, t := range m.List() {
 		tm := t.metrics()
 		out.Trackers[t.name] = tm
 		netRows += tm.NetRows
+		ten.Trackers++
+		if tm.Resident {
+			ten.Resident++
+		} else {
+			ten.Hibernated++
+		}
 	}
+	out.Tenancy = ten
 	if ws := m.wireStats.Load(); ws != nil {
 		snap := ws.Snapshot()
 		wm := &WireMetrics{

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// workerPool is the manager-owned shared ingestion pool: a fixed set of
+// lanes — one buffered channel plus one draining goroutine each — that
+// every hosted tracker's mailbox dispatches onto. The manager's ingest
+// goroutine count is O(Options.PoolWorkers), not O(trackers), which is
+// what makes hosting a million mostly-idle trackers affordable.
+//
+// Ordering: a batch with an explicit site hashes (tracker, site) to a
+// fixed lane, so per-site FIFO order — which the wire path's sequence
+// gap check depends on — survives the pooling; assigner batches have no
+// ordering contract and round-robin across lanes for spread.
+type workerPool struct {
+	lanes  []chan poolReq
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// poolReq is one dispatched batch: the tracker whose mailbox it came
+// from plus the request itself.
+type poolReq struct {
+	t   *Tracker
+	req ingestReq
+}
+
+func newWorkerPool(workers, depth int) *workerPool {
+	p := &workerPool{
+		lanes:  make([]chan poolReq, workers),
+		closed: make(chan struct{}),
+	}
+	for i := range p.lanes {
+		p.lanes[i] = make(chan poolReq, depth)
+		p.wg.Add(1)
+		go p.worker(p.lanes[i])
+	}
+	return p
+}
+
+// worker drains one lane, serving each batch on its owning tracker.
+func (p *workerPool) worker(lane chan poolReq) {
+	defer p.wg.Done()
+	for {
+		select {
+		case pr := <-lane:
+			pr.t.serve(pr.req)
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+// close stops the workers. Call it only after every tracker has closed
+// and drained its in-flight batches — a request still sitting in a lane
+// when the workers exit would never get its reply.
+func (p *workerPool) close() {
+	close(p.closed)
+	p.wg.Wait()
+}
+
+// queueLen is the total batches waiting across all lanes.
+func (p *workerPool) queueLen() int {
+	n := 0
+	for _, lane := range p.lanes {
+		n += len(lane)
+	}
+	return n
+}
+
+// laneBase seeds a tracker's lane hash from its name, so distinct
+// trackers sharing a site number still spread across lanes.
+func laneBase(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// laneMix folds a site number into a tracker's base hash (FNV-style
+// multiply-xor), picking the fixed lane for that (tracker, site) pair.
+func laneMix(base uint64, site int) uint64 {
+	h := base ^ uint64(site)
+	h *= 1099511628211 // FNV-64 prime
+	return h ^ h>>29
+}

@@ -1,0 +1,100 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestPoolNoSlowerGuard is the perf floor behind the shared-pool
+// refactor: 4 matrix-fast trackers fed concurrently through a 4-worker
+// shared pool must reach at least half the throughput of the same
+// workload on a 16-lane pool — the stand-in for the old per-tracker
+// worker architecture (4 trackers × 4 queue workers each). Per-tracker
+// applies serialize under the tracker lock anyway, so the expected ratio
+// is ~1×; the 0.5× floor absorbs scheduler noise. Needs real parallelism,
+// so it runs only with ≥4 procs, like the core sharded guard.
+func TestPoolNoSlowerGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock guard skipped in -short mode")
+	}
+	const need = 4
+	if procs := runtime.GOMAXPROCS(0); procs < need {
+		t.Skipf("pool guard needs ≥%d procs, have %d", need, procs)
+	}
+	const (
+		trackers = 4
+		blocks   = 120
+		rowsPer  = 64
+		dim      = 32
+	)
+	block := make([][]float64, rowsPer)
+	for r := range block {
+		block[r] = make([]float64, dim)
+		for c := range block[r] {
+			block[r][c] = float64(r*dim+c)/512 - 2
+		}
+	}
+
+	run := func(workers int) float64 {
+		mgr, err := service.Open(service.Options{PoolWorkers: workers, QueueDepth: 16,
+			EnqueueTimeout: 30 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		ctx := context.Background()
+		trs := make([]*service.Tracker, trackers)
+		for i := range trs {
+			trs[i], err = mgr.Create(fmt.Sprintf("m%d", i), service.Spec{
+				Kind: service.KindMatrix, Protocol: "p2", Fast: true,
+				Sites: 4, Dim: dim, Epsilon: 0.1, Seed: int64(i + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := time.Now()
+		errs := make(chan error, trackers)
+		for i, tr := range trs {
+			go func(i int, tr *service.Tracker) {
+				for b := 0; b < blocks; b++ {
+					if err := tr.IngestRows(ctx, b%4, block); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}(i, tr)
+		}
+		for range trs {
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start).Seconds()
+	}
+	best := func(workers int) float64 {
+		bestSec := 0.0
+		for rep := 0; rep < 3; rep++ {
+			if sec := run(workers); bestSec == 0 || sec < bestSec {
+				bestSec = sec
+			}
+		}
+		return bestSec
+	}
+
+	wideSec := best(4 * trackers)
+	poolSec := best(4)
+	if poolSec <= 0 {
+		return // timer resolution floor: unmeasurably fast is a pass
+	}
+	ratio := wideSec / poolSec
+	t.Logf("16-lane %.1fms, 4-worker pool %.1fms: %.2fx", wideSec*1e3, poolSec*1e3, ratio)
+	if ratio < 0.5 {
+		t.Errorf("shared 4-worker pool only %.2fx the wide-pool throughput, want ≥ 0.5x", ratio)
+	}
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	distmat "repro"
+	"repro/internal/wal"
+)
+
+// Tracker hibernation: Options.MaxResident bounds the resident working
+// set. A manager past the cap hibernates its least-recently-touched
+// clean trackers — checkpoint the session (reusing the ordinary
+// checkpoint path), release it, and leave the Tracker as a stub holding
+// watermarks, counters, and the WAL cursor. The next ingest, query, or
+// wire block faults the session back in: restore the checkpoint, then
+// replay the WAL suffix past its coverage — the same two-step recovery
+// Open performs after a restart, so a faulted-in tracker is bit-identical
+// (distmat.StateEqual) to one that never hibernated.
+//
+// Invariant: only clean (checkpointed, nothing in flight) trackers
+// hibernate, so the WAL suffix past a stub's cursor is empty in the
+// steady state; the replay is what makes the invariant safe rather than
+// load-bearing. Hibernation pauses entirely while the manager is
+// degraded — a damaged WAL means new batches cannot be logged, and the
+// eviction checkpoint could otherwise advance coverage past records the
+// re-arm will discard.
+
+// maybeEnforce nudges the resident-session count back under
+// Options.MaxResident by hibernating the coldest clean trackers. Cheap
+// while under the cap (two atomic loads); a TryLock admits one sweep at
+// a time — concurrent callers skip, the winner sweeps down to the cap.
+func (m *Manager) maybeEnforce() {
+	limit := int64(m.opts.MaxResident)
+	if limit <= 0 || m.resident.Load() <= limit {
+		return
+	}
+	if !m.hibMu.TryLock() {
+		return
+	}
+	defer m.hibMu.Unlock()
+	var cands []*Tracker
+	for _, t := range m.List() {
+		if t.persistable && !t.deleted.Load() && t.resident() {
+			cands = append(cands, t)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].lastTouch.Load() < cands[j].lastTouch.Load()
+	})
+	for _, t := range cands {
+		if m.resident.Load() <= limit {
+			return
+		}
+		m.hibernate(t)
+	}
+}
+
+// hibernate checkpoints one tracker and releases its session, leaving
+// the stub behind. Returns false without evicting when the tracker is
+// not eligible: unpersistable, deleted, closed, dirty again after the
+// checkpoint, already hibernated, mid-ingest, or the manager degraded.
+func (m *Manager) hibernate(t *Tracker) bool {
+	if m.opts.DataDir == "" || !t.persistable || t.deleted.Load() {
+		return false
+	}
+	if m.dur != nil && m.dur.gate() != nil {
+		return false
+	}
+	if err := m.checkpointTracker(t); err != nil {
+		m.opts.Logf("hibernate %s: checkpoint: %v", t.name, err)
+		return false
+	}
+	// ckptMu before mu (the checkpoint lock order): no checkpointer can
+	// be mid-serialize while the session goes away, and no new checkpoint
+	// can start between the dirty re-check and the release.
+	t.ckptMu.Lock()
+	defer t.ckptMu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sess == nil || t.dirty || t.deleted.Load() {
+		return false
+	}
+	select {
+	case <-t.closed:
+		return false
+	default:
+	}
+	if t.inflight.Load() > 0 {
+		// A batch is queued or mid-flight; it would fault the session
+		// straight back in — not a useful eviction.
+		return false
+	}
+	t.hibStats = t.sess.StatsRelaxed()
+	t.hibShards = t.sess.Shards()
+	t.sess.Close()
+	t.sess = nil
+	m.resident.Add(-1)
+	m.evictions.Add(1)
+	m.opts.Logf("hibernated %s (resident %d/%d)", t.name, m.resident.Load(), m.opts.MaxResident)
+	return true
+}
+
+// faultIn restores a hibernated tracker's session: decode its checkpoint
+// file, rebuild the session, and replay the WAL suffix past the
+// checkpoint's coverage. Called with t.mu held — the faulting request
+// owns the stub, and the tracker-lock → log-lock order matches the
+// ingest path's stage-under-mu. The stub's watermark maps, counters, and
+// walLSN survived eviction untouched; only the session is rebuilt.
+//
+//distlint:caller-holds mu
+func (m *Manager) faultIn(t *Tracker) error {
+	env, err := m.readEnvelope(m.checkpointPath(t.name))
+	if err != nil {
+		return fmt.Errorf("service: faulting in %s: %w", t.name, err)
+	}
+	sess, err := distmat.RestoreSession(bytes.NewReader(env.State))
+	if err != nil {
+		return fmt.Errorf("service: faulting in %s: %w", t.name, err)
+	}
+	t.sess = sess
+	if m.wal != nil {
+		err := m.wal.ReplayFrom(env.WalLSN, func(rec *wal.Record) error {
+			if rec.Tracker != t.name {
+				return nil
+			}
+			switch rec.Kind {
+			case wal.KindRows, wal.KindItems:
+				if rerr := t.replayRecordLocked(rec); rerr != nil {
+					// Same contract as Open-time replay: a deterministic
+					// session rejection replays as the same skip.
+					m.opts.Logf("fault-in replay: LSN %d on %s: %v (skipped)", rec.LSN, t.name, rerr)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			sess.Close()
+			t.sess = nil
+			return fmt.Errorf("service: faulting in %s: %w", t.name, err)
+		}
+	}
+	m.resident.Add(1)
+	m.faults.Add(1)
+	t.touch()
+	m.opts.Logf("faulted in %s (%d rows/items)", t.name, t.Count())
+	return nil
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,8 +28,16 @@ type ingestReq struct {
 	done  chan error
 }
 
-// Tracker is one hosted session: a named tracker plus its ingestion shards
-// and counters. All methods are safe for concurrent use.
+// Tracker is one hosted session: a named tracker plus its mailbox into
+// the manager's shared worker pool and its counters. All methods are
+// safe for concurrent use.
+//
+// A tracker need not hold its session: under Options.MaxResident an idle
+// tracker hibernates — its state is checkpointed, the session released,
+// and the Tracker left as a stub (sess == nil under mu) holding only
+// watermarks, counters, and the WAL cursor. The next ingest or query
+// faults the session back in from the checkpoint plus the WAL suffix.
+// See ensureSessionLocked for the stub locking contract.
 type Tracker struct {
 	name        string
 	spec        Spec
@@ -36,17 +45,31 @@ type Tracker struct {
 	created     time.Time
 	baseCount   int64 // session count at construction (restored checkpoints)
 
+	m        *Manager // owning manager: worker pool, hibernation, fault-in
+	laneBase uint64   // per-tracker seed of the (tracker, site) → lane hash
+
 	// mu guards sess and dirty. Ingestion applies batches under mu from
-	// the shard workers; queries take it only for the snapshot.
+	// the pool workers; queries take it only for the snapshot. sess is
+	// nil while the tracker is hibernated — every access must go through
+	// ensureSessionLocked (or return the hib* cache) first.
 	mu   sync.Mutex
 	sess *distmat.Session //distlint:guarded-by mu
 	//distlint:guarded-by mu
 	dirty bool // mutated since the last (attempted) checkpoint
 
+	// hibStats and hibShards cache the session's communication tally and
+	// shard count at hibernation, so /metrics scrapes never fault a stub
+	// back in just to read counters.
+	//distlint:guarded-by mu
+	hibStats distmat.Stats
+	//distlint:guarded-by mu
+	hibShards int
+
 	// Wire stream watermarks, per site. wm advances atomically with the
 	// session apply (same mu critical section), so a checkpoint captured
 	// under mu describes exactly the blocks its state contains; wmDurable
-	// advances only after that checkpoint file lands.
+	// advances only after that checkpoint file lands. Both survive
+	// hibernation in the stub.
 	//distlint:guarded-by mu
 	wm map[int]uint64
 	//distlint:guarded-by mu
@@ -58,25 +81,33 @@ type Tracker struct {
 	// critical section as the apply, so a checkpoint captured under mu
 	// records exactly the log prefix its state contains; walCkpt is the
 	// walLSN the last durable checkpoint file covers (the tracker's WAL
-	// compaction floor).
+	// compaction floor, and the replay cursor a fault-in resumes from).
 	dur *durability
 	//distlint:guarded-by mu
 	walLSN  uint64
 	walCkpt atomic.Uint64
 
-	queues     []chan ingestReq
 	closed     chan struct{}
 	closeOnce  sync.Once
-	wg         sync.WaitGroup
-	rr         atomic.Uint64 // round-robin shard cursor for assigner batches
+	rr         atomic.Uint64 // round-robin lane cursor for assigner batches
 	enqTimeout time.Duration
+
+	// inflight counts batches handed to the pool whose reply has not been
+	// sent yet; close drains it to zero before releasing the session.
+	inflight atomic.Int64
+
+	// lastTouch (unix nanos) is the hibernation LRU clock, advanced by
+	// every apply, query, and fault-in.
+	lastTouch atomic.Int64
 
 	// ckptMu serializes whole checkpoint operations (serialize + file
 	// write + rename) and file removal on delete, so concurrent
 	// checkpointers cannot rename stale state over newer state and a
 	// deleted tracker's file cannot be resurrected by an in-flight
-	// checkpoint. deleted (distinct from closed: Close stops workers and
-	// *then* checkpoints, so every acknowledged batch is persisted) marks
+	// checkpoint. Hibernation releases the session under the same mutex,
+	// so the checkpoint it depends on cannot race a concurrent writer.
+	// deleted (distinct from closed: Close stops workers and *then*
+	// checkpoints, so every acknowledged batch is persisted) marks
 	// trackers whose state must never be written again.
 	ckptMu  sync.Mutex
 	deleted atomic.Bool
@@ -92,59 +123,99 @@ type Tracker struct {
 	ckptErr    atomic.Value // string: last checkpoint failure, "" when clean
 }
 
-// newTracker wires a tracker around an existing session and starts its
-// shard workers.
-func newTracker(name string, spec Spec, sess *distmat.Session, shards, depth int, enqTimeout time.Duration) *Tracker {
+// newTracker wires a tracker around an existing session. The tracker
+// owns no goroutines: its batches ride the manager's shared worker pool.
+func newTracker(m *Manager, name string, spec Spec, sess *distmat.Session) *Tracker {
 	t := &Tracker{
 		name:       name,
 		spec:       spec,
 		created:    time.Now(),
 		baseCount:  sess.Count(),
+		m:          m,
+		laneBase:   laneBase(name),
 		sess:       sess,
 		wm:         make(map[int]uint64),
 		wmDurable:  make(map[int]uint64),
-		queues:     make([]chan ingestReq, shards),
 		closed:     make(chan struct{}),
-		enqTimeout: enqTimeout,
+		enqTimeout: m.opts.EnqueueTimeout,
 	}
 	t.ckptErr.Store("")
+	t.touch()
 	t.persistable = sess.Persistable() == nil
-	for i := range t.queues {
-		t.queues[i] = make(chan ingestReq, depth)
-		t.wg.Add(1)
-		go t.worker(t.queues[i])
-	}
+	m.resident.Add(1)
 	return t
 }
 
-// close stops the queue workers, then closes the session so a sharded
-// tracker's compute workers stop too (flushing their in-flight blocks
-// first, so a final checkpoint after close persists every applied batch).
-// Queued-but-unapplied batches are dropped; their enqueuers get ErrClosed.
+// touch advances the hibernation LRU clock.
+func (t *Tracker) touch() { t.lastTouch.Store(time.Now().UnixNano()) }
+
+// resident reports whether the tracker currently holds its session (a
+// hibernated stub does not).
+func (t *Tracker) resident() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sess != nil
+}
+
+// ensureSessionLocked faults a hibernated tracker's session back in:
+// checkpoint restore plus WAL replay beyond the checkpoint's coverage.
+//
+// The stub locking contract: t.sess may be nil whenever t.mu is held.
+// Every code path that dereferences t.sess must either call this first
+// (ingest, queries, SaveState) or serve from the stub's caches instead
+// (Stats, statsRelaxed, ShardInfo, metrics — monitoring must never fault
+// a session in).
+//
+//distlint:caller-holds mu
+func (t *Tracker) ensureSessionLocked() error {
+	if t.sess != nil {
+		return nil
+	}
+	if t.deleted.Load() {
+		return fmt.Errorf("%w: %q", ErrNotFound, t.name)
+	}
+	return t.m.faultIn(t)
+}
+
+// close stops the tracker: no new batches are accepted, every batch
+// already handed to the pool gets its reply (applied, or ErrClosed if it
+// had not started), and the session is closed so a sharded tracker's
+// compute workers stop too (flushing their in-flight blocks first, so a
+// final checkpoint after close persists every applied batch). The
+// session pointer is kept: Manager.Close checkpoints after closing, and
+// SaveState on a closed session still serializes its final state.
 func (t *Tracker) close() {
 	t.closeOnce.Do(func() {
 		close(t.closed)
-		t.wg.Wait()
+		// Drain the pool: inflight hits zero once every dispatched batch
+		// has been answered, after which no pool worker touches sess.
+		for t.inflight.Load() > 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
 		// Under mu: a periodic checkpoint may still be serializing state.
 		t.mu.Lock()
-		t.sess.Close()
+		if t.sess != nil {
+			t.sess.Close()
+		}
 		t.mu.Unlock()
 	})
-	t.wg.Wait()
 }
 
-// worker drains one shard queue, applying each batch under the tracker
-// lock.
-func (t *Tracker) worker(q chan ingestReq) {
-	defer t.wg.Done()
-	for {
-		select {
-		case req := <-q:
-			req.done <- t.apply(req)
-		case <-t.closed:
-			return
-		}
+// serve runs one dispatched batch on a pool worker, replying on the
+// request's buffered done channel, and then lets the manager enforce the
+// resident cap — after the reply, so eviction I/O never sits in a
+// batch's acknowledgement latency.
+func (t *Tracker) serve(req ingestReq) {
+	select {
+	case <-t.closed:
+		req.done <- ErrClosed
+		t.inflight.Add(-1)
+		return
+	default:
 	}
+	req.done <- t.apply(req)
+	t.inflight.Add(-1)
+	t.m.maybeEnforce()
 }
 
 // apply ingests one batch. Row batches flow through the session's blocked
@@ -159,8 +230,16 @@ func (t *Tracker) worker(q chan ingestReq) {
 // group commit after the lock is released: acked ⇒ durable ∧ applied.
 // Wire blocks (seq > 0) are not logged; their durability is the
 // checkpoint watermark plus site retransmit.
+//
+// A hibernated tracker faults its session back in first — before the WAL
+// stage, so a failed restore rejects the batch without logging a record
+// the state cannot contain.
 func (t *Tracker) apply(req ingestReq) error {
 	t.mu.Lock()
+	if err := t.ensureSessionLocked(); err != nil {
+		t.mu.Unlock()
+		return err
+	}
 	var walLSN uint64
 	logged := false
 	if t.dur != nil && req.seq == 0 {
@@ -179,6 +258,7 @@ func (t *Tracker) apply(req ingestReq) error {
 	}
 	err := t.applyLocked(req)
 	t.mu.Unlock()
+	t.touch()
 	if logged {
 		if derr := t.dur.waitDurable(walLSN); derr != nil {
 			return derr
@@ -256,34 +336,43 @@ func (t *Tracker) applyLocked(req ingestReq) error {
 	return err
 }
 
-// enqueue routes a batch to a shard and waits for it to be applied.
-// Explicit sites hash to a fixed shard, preserving per-site order;
-// assigner batches round-robin across shards. A shard queue that stays
-// full past the enqueue timeout pushes back with ErrBusy.
-func (t *Tracker) enqueue(ctx context.Context, req ingestReq) error {
-	var shard int
-	if req.site >= 0 {
-		shard = req.site % len(t.queues)
-	} else {
-		shard = int(t.rr.Add(1) % uint64(len(t.queues)))
+// lane picks the pool lane for a batch: explicit sites hash (tracker,
+// site) to a fixed lane, preserving per-site order end to end; assigner
+// batches round-robin across lanes.
+func (t *Tracker) lane(site int) chan poolReq {
+	lanes := t.m.pool.lanes
+	if site >= 0 {
+		return lanes[laneMix(t.laneBase, site)%uint64(len(lanes))]
 	}
-	req.done = make(chan error, 1)
+	return lanes[t.rr.Add(1)%uint64(len(lanes))]
+}
 
+// enqueue dispatches a batch onto the shared pool and waits for it to be
+// applied. A lane that stays full past the enqueue timeout pushes back
+// with ErrBusy.
+func (t *Tracker) enqueue(ctx context.Context, req ingestReq) error {
+	lane := t.lane(req.site)
+	req.done = make(chan error, 1)
+	t.inflight.Add(1)
 	select {
-	case t.queues[shard] <- req:
+	case lane <- poolReq{t: t, req: req}:
 	case <-t.closed:
+		t.inflight.Add(-1)
 		return ErrClosed
 	default:
-		// Queue full: only this slow path pays for a timer.
+		// Lane full: only this slow path pays for a timer.
 		timer := time.NewTimer(t.enqTimeout)
 		defer timer.Stop()
 		select {
-		case t.queues[shard] <- req:
+		case lane <- poolReq{t: t, req: req}:
 		case <-t.closed:
+			t.inflight.Add(-1)
 			return ErrClosed
 		case <-ctx.Done():
+			t.inflight.Add(-1)
 			return ctx.Err()
 		case <-timer.C:
+			t.inflight.Add(-1)
 			t.rejected.Add(1)
 			return ErrBusy
 		}
@@ -332,6 +421,16 @@ func (t *Tracker) IngestItems(ctx context.Context, site int, items []distmat.Wei
 func (t *Tracker) replayRecord(rec *wal.Record) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.replayRecordLocked(rec)
+}
+
+// replayRecordLocked is replayRecord for callers already inside the
+// tracker's critical section — Open-time recovery via replayRecord, and
+// the fault-in path replaying the WAL suffix into a just-restored
+// session.
+//
+//distlint:caller-holds mu
+func (t *Tracker) replayRecordLocked(rec *wal.Record) error {
 	if rec.LSN <= t.walLSN {
 		return nil
 	}
@@ -369,7 +468,7 @@ func (t *Tracker) replayRecord(rec *wal.Record) error {
 // IngestBlock applies one numbered wire-stream block at an explicit site.
 // A seq at or below the site's applied watermark is dropped as a
 // retransmitted duplicate (nil error); a seq past applied+1 is a stream
-// gap and errors. Explicit sites hash to a fixed shard queue, so blocks
+// gap and errors. Explicit sites hash to a fixed pool lane, so blocks
 // stay in per-site FIFO order end to end.
 func (t *Tracker) IngestBlock(ctx context.Context, site int, seq uint64, rows [][]float64) error {
 	if seq == 0 {
@@ -383,7 +482,8 @@ func (t *Tracker) IngestBlock(ctx context.Context, site int, seq uint64, rows []
 
 // SiteWatermarks returns a site's wire stream watermarks: applied (every
 // block seq ≤ applied is in tracker state) and durable (every block
-// seq ≤ durable is covered by a checkpoint file).
+// seq ≤ durable is covered by a checkpoint file). Watermarks live in the
+// stub, so asking a hibernated tracker does not fault it in.
 func (t *Tracker) SiteWatermarks(site int) (applied, durable uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -414,62 +514,144 @@ func (t *Tracker) Count() int64 { return t.baseCount + t.ingested.Load() }
 // Stats returns the session's communication tally, taken under the
 // tracker lock: composite trackers (e.g. windowed matrix sessions) sum
 // sub-tracker tallies in plain fields, so the mutex-guarded accountant
-// alone is not enough.
+// alone is not enough. A hibernated tracker answers from the tally
+// cached at eviction (identical — only clean, idle trackers hibernate)
+// without faulting the session in.
 func (t *Tracker) Stats() distmat.Stats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.sess == nil {
+		return t.hibStats
+	}
 	return t.sess.Stats()
 }
 
 // statsRelaxed is the monitoring variant of Stats: on a sharded session it
 // skips the merge barrier, so a /metrics scrape never stalls ingestion
 // behind a shard pipeline drain (the tally may trail enqueued blocks by up
-// to the shard queue depth).
+// to the lane depth), and a hibernated tracker answers from the stub's
+// cache instead of faulting its session in.
 func (t *Tracker) statsRelaxed() distmat.Stats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.sess == nil {
+		return t.hibStats
+	}
 	return t.sess.StatsRelaxed()
 }
 
 // Snapshot returns an immutable view of the session, taken under the
-// tracker lock.
-func (t *Tracker) Snapshot() distmat.Snapshot {
+// tracker lock, faulting a hibernated tracker back in first.
+func (t *Tracker) Snapshot() (distmat.Snapshot, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.sess.Snapshot()
+	if err := t.ensureSessionLocked(); err != nil {
+		t.mu.Unlock()
+		return distmat.Snapshot{}, err
+	}
+	snap := t.sess.Snapshot()
+	t.mu.Unlock()
+	t.touch()
+	t.m.maybeEnforce()
+	return snap, nil
 }
 
 // HeavyHitters answers the paper's φ-heavy-hitters query.
 func (t *Tracker) HeavyHitters(phi float64) ([]distmat.WeightedElement, error) {
+	hits, _, err := t.QueryHeavyHitters(phi)
+	return hits, err
+}
+
+// QueryHeavyHitters answers the φ-heavy-hitters query together with the
+// snapshot it is consistent with, from one tracker-lock critical
+// section: the hits and the snapshot's count/total describe the same
+// instant even under concurrent ingestion.
+func (t *Tracker) QueryHeavyHitters(phi float64) ([]distmat.WeightedElement, distmat.Snapshot, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.sess.HeavyHitters(phi)
+	if err := t.ensureSessionLocked(); err != nil {
+		t.mu.Unlock()
+		return nil, distmat.Snapshot{}, err
+	}
+	hits, err := t.sess.HeavyHitters(phi)
+	if err != nil {
+		t.mu.Unlock()
+		return nil, distmat.Snapshot{}, err
+	}
+	snap := t.sess.Snapshot()
+	t.mu.Unlock()
+	t.touch()
+	t.m.maybeEnforce()
+	return hits, snap, nil
 }
 
 // Quantile answers a φ-quantile query.
 func (t *Tracker) Quantile(phi float64) (uint64, error) {
+	vals, _, err := t.QueryQuantiles([]float64{phi})
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// QueryQuantiles answers a multi-φ quantile query together with the
+// snapshot it is consistent with, all from one tracker-lock critical
+// section: the values are cuts of a single digest instant, so they are
+// monotone in φ and consistent with the snapshot's count/total.
+func (t *Tracker) QueryQuantiles(phis []float64) ([]uint64, distmat.Snapshot, error) {
+	t.mu.Lock()
+	if err := t.ensureSessionLocked(); err != nil {
+		t.mu.Unlock()
+		return nil, distmat.Snapshot{}, err
+	}
+	vals := make([]uint64, len(phis))
+	for i, phi := range phis {
+		v, err := t.sess.Quantile(phi)
+		if err != nil {
+			t.mu.Unlock()
+			return nil, distmat.Snapshot{}, err
+		}
+		vals[i] = v
+	}
+	snap := t.sess.Snapshot()
+	t.mu.Unlock()
+	t.touch()
+	t.m.maybeEnforce()
+	return vals, snap, nil
+}
+
+// SaveState serializes the session's persistence stream to w under the
+// tracker lock, faulting a hibernated tracker back in first — so the
+// stream a stub produces is exactly what its checkpoint + WAL suffix
+// restore to (compare with distmat.StateEqual).
+func (t *Tracker) SaveState(w io.Writer) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.sess.Quantile(phi)
+	if err := t.ensureSessionLocked(); err != nil {
+		return err
+	}
+	return t.sess.SaveState(w)
 }
 
 // ShardInfo returns the tracker-level compute shard count (1 when
 // unsharded) and the rows dealt to each shard (nil when unsharded), taken
-// under the tracker lock.
+// under the tracker lock. A hibernated tracker reports the shard count
+// cached at eviction and nil rows.
 func (t *Tracker) ShardInfo() (int, []int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.sess == nil {
+		return t.hibShards, nil
+	}
 	return t.sess.Shards(), t.sess.ShardRows()
 }
 
-// QueueLen returns the total number of batches waiting in the shard
-// queues.
+// QueueLen returns the number of batches dispatched to the pool and not
+// yet answered (queued in a lane or mid-apply).
 func (t *Tracker) QueueLen() int {
-	n := 0
-	for _, q := range t.queues {
-		n += len(q)
+	n := t.inflight.Load()
+	if n < 0 {
+		return 0
 	}
-	return n
+	return int(n)
 }
 
 // LastCheckpoint returns the time of the last successful checkpoint (zero

@@ -190,7 +190,14 @@ func TestWireManagerRestartResume(t *testing.T) {
 		}
 	}
 
-	got, want := tB.Snapshot(), tO.Snapshot()
+	got, err := tB.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tO.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.Count != want.Count {
 		t.Fatalf("count %d, oracle %d", got.Count, want.Count)
 	}
